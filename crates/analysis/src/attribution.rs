@@ -1,0 +1,160 @@
+//! Interactive-versus-batch attribution (§3.2, §5.2).
+//!
+//! The paper infers, from periodicity alone, that "most reads on the
+//! system are initiated by interactive requests, since reads peak when
+//! people are at work, while writes remain almost constant". This module
+//! makes the inference explicit: it decomposes each direction's hourly
+//! profile into a flat machine-driven floor plus a human-shaped surplus
+//! and reports the attributed shares.
+
+use fmig_trace::{Direction, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Hourly request counts per direction, with the decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    counts: [[u64; 24]; 2],
+}
+
+impl Attribution {
+    /// Creates an empty attribution.
+    pub fn new() -> Self {
+        Attribution {
+            counts: [[0; 24]; 2],
+        }
+    }
+
+    /// Feeds one successful record.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        if !rec.is_ok() {
+            return;
+        }
+        let dir = match rec.direction() {
+            Direction::Read => 0,
+            Direction::Write => 1,
+        };
+        self.counts[dir][rec.start.hour_of_day() as usize] += 1;
+    }
+
+    /// Total requests in one direction.
+    pub fn total(&self, dir: Direction) -> u64 {
+        self.counts[dir_index(dir)].iter().sum()
+    }
+
+    /// The machine-driven floor: 24 × the minimum hourly count. Batch
+    /// jobs run around the clock, so the quietest hour bounds the
+    /// machine-initiated rate.
+    pub fn machine_floor(&self, dir: Direction) -> u64 {
+        let min = self.counts[dir_index(dir)]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        24 * min
+    }
+
+    /// Fraction of a direction's requests attributed to humans: the
+    /// surplus above the flat floor.
+    pub fn human_share(&self, dir: Direction) -> f64 {
+        let total = self.total(dir);
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.machine_floor(dir)) as f64 / total as f64
+    }
+
+    /// The hourly surplus profile (requests above the floor), for
+    /// plotting the inferred human activity.
+    pub fn human_profile(&self, dir: Direction) -> [u64; 24] {
+        let row = &self.counts[dir_index(dir)];
+        let min = row.iter().copied().min().unwrap_or(0);
+        core::array::from_fn(|h| row[h] - min)
+    }
+}
+
+impl Default for Attribution {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn dir_index(dir: Direction) -> usize {
+    match dir {
+        Direction::Read => 0,
+        Direction::Write => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::{HOUR, TRACE_EPOCH};
+    use fmig_trace::Endpoint;
+
+    fn read_at(hour: i64) -> TraceRecord {
+        TraceRecord::read(
+            Endpoint::MssDisk,
+            TRACE_EPOCH.add_secs(hour * HOUR),
+            1,
+            "/f",
+            1,
+        )
+    }
+
+    fn write_at(hour: i64) -> TraceRecord {
+        TraceRecord::write(
+            Endpoint::MssDisk,
+            TRACE_EPOCH.add_secs(hour * HOUR),
+            1,
+            "/f",
+            1,
+        )
+    }
+
+    #[test]
+    fn flat_traffic_is_all_machine() {
+        let mut a = Attribution::new();
+        for h in 0..24 {
+            a.observe(&write_at(h));
+        }
+        assert_eq!(a.total(Direction::Write), 24);
+        assert_eq!(a.machine_floor(Direction::Write), 24);
+        assert_eq!(a.human_share(Direction::Write), 0.0);
+    }
+
+    #[test]
+    fn daytime_surplus_is_attributed_to_humans() {
+        let mut a = Attribution::new();
+        // One read every hour (machine floor) plus three extra at 10:00.
+        for h in 0..24 {
+            a.observe(&read_at(h));
+        }
+        for _ in 0..3 {
+            a.observe(&read_at(10));
+        }
+        assert_eq!(a.total(Direction::Read), 27);
+        assert_eq!(a.machine_floor(Direction::Read), 24);
+        assert!((a.human_share(Direction::Read) - 3.0 / 27.0).abs() < 1e-12);
+        let profile = a.human_profile(Direction::Read);
+        assert_eq!(profile[10], 3);
+        assert_eq!(profile[3], 0);
+    }
+
+    #[test]
+    fn empty_hours_zero_the_floor() {
+        let mut a = Attribution::new();
+        a.observe(&read_at(10));
+        // No request at 03:00, so the floor is zero: all human.
+        assert_eq!(a.machine_floor(Direction::Read), 0);
+        assert_eq!(a.human_share(Direction::Read), 1.0);
+    }
+
+    #[test]
+    fn errors_are_ignored() {
+        let mut a = Attribution::new();
+        let mut bad = read_at(10);
+        bad.error = Some(fmig_trace::ErrorKind::FileNotFound);
+        a.observe(&bad);
+        assert_eq!(a.total(Direction::Read), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Per-file reference tracking: Figures 8 and 9, Figure 11, and the §6
+//! eight-hour repeat statistic.
+//!
+//! §5.3's method is applied verbatim: "this part of the analysis included
+//! at most one read and one write from any eight hour period" — each
+//! file's reads (writes) within eight hours of the last *counted* read
+//! (write) are folded away before reference counts and interreference
+//! intervals are computed. The raw repeats are retained separately,
+//! because §6 uses them ("about one third of all requests came within
+//! eight hours of another request for the same file").
+
+use std::collections::HashMap;
+
+use fmig_trace::time::{DAY, HOUR};
+use fmig_trace::{Direction, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+
+const DEDUP_WINDOW_S: i64 = 8 * HOUR;
+
+/// Per-file running state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct FileState {
+    size: u64,
+    reads: u32,
+    writes: u32,
+    last_counted_read: i64,
+    last_counted_write: i64,
+    last_counted_any: i64,
+    last_raw: i64,
+}
+
+/// Aggregate per-file statistics for the whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileTracker {
+    files: HashMap<Box<str>, FileState>,
+    /// Interreference intervals between counted accesses, in seconds.
+    intervals: LogHistogram,
+    raw_requests: u64,
+    raw_repeats_within_8h: u64,
+}
+
+impl FileTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        FileTracker {
+            files: HashMap::new(),
+            // 1 minute to ~2 years.
+            intervals: LogHistogram::new(60.0, 7.0e7, 4),
+            raw_requests: 0,
+            raw_repeats_within_8h: 0,
+        }
+    }
+
+    /// Feeds one successful record.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        let t = rec.start.as_unix();
+        self.raw_requests += 1;
+        let state = self
+            .files
+            .entry(rec.mss_path.as_str().into())
+            .or_insert(FileState {
+                size: rec.file_size,
+                reads: 0,
+                writes: 0,
+                last_counted_read: i64::MIN / 2,
+                last_counted_write: i64::MIN / 2,
+                last_counted_any: i64::MIN / 2,
+                last_raw: i64::MIN / 2,
+            });
+        // §6 statistic: raw repeats within eight hours.
+        if t - state.last_raw <= DEDUP_WINDOW_S {
+            self.raw_repeats_within_8h += 1;
+        }
+        state.last_raw = t;
+        // Writes may grow the file; keep the latest size.
+        if rec.direction() == Direction::Write {
+            state.size = rec.file_size;
+        }
+        // §5.3 dedup rule, per direction.
+        let counted = match rec.direction() {
+            Direction::Read => {
+                if t - state.last_counted_read >= DEDUP_WINDOW_S {
+                    state.reads += 1;
+                    state.last_counted_read = t;
+                    true
+                } else {
+                    false
+                }
+            }
+            Direction::Write => {
+                if t - state.last_counted_write >= DEDUP_WINDOW_S {
+                    state.writes += 1;
+                    state.last_counted_write = t;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if counted {
+            if state.last_counted_any > i64::MIN / 4 {
+                let gap = (t - state.last_counted_any).max(60) as f64;
+                self.intervals.record_count(gap);
+            }
+            state.last_counted_any = t;
+        }
+    }
+
+    /// Number of distinct files referenced.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total referenced bytes (each file counted once at its final size).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.size).sum()
+    }
+
+    /// Average file size in MB (Table 4's "average file size").
+    pub fn avg_file_mb(&self) -> f64 {
+        if self.files.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / 1e6 / self.files.len() as f64
+        }
+    }
+
+    /// Fraction of files satisfying a predicate over (reads, writes).
+    pub fn fraction_where(&self, pred: impl Fn(u32, u32) -> bool) -> f64 {
+        if self.files.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .files
+            .values()
+            .filter(|f| pred(f.reads, f.writes))
+            .count();
+        hits as f64 / self.files.len() as f64
+    }
+
+    /// Figure 8 headline: fraction of files with zero counted reads.
+    pub fn never_read(&self) -> f64 {
+        self.fraction_where(|r, _| r == 0)
+    }
+
+    /// Fraction of files with zero counted writes.
+    pub fn never_written(&self) -> f64 {
+        self.fraction_where(|_, w| w == 0)
+    }
+
+    /// Fraction accessed exactly once (§5.3: 57%).
+    pub fn accessed_once(&self) -> f64 {
+        self.fraction_where(|r, w| r + w == 1)
+    }
+
+    /// Fraction accessed exactly twice (§5.3: 19%).
+    pub fn accessed_twice(&self) -> f64 {
+        self.fraction_where(|r, w| r + w == 2)
+    }
+
+    /// Fraction written once and never read (§5.3: 44%).
+    pub fn write_once_never_read(&self) -> f64 {
+        self.fraction_where(|r, w| w == 1 && r == 0)
+    }
+
+    /// Fraction referenced more than `n` times (Figure 8's tail).
+    pub fn referenced_more_than(&self, n: u32) -> f64 {
+        self.fraction_where(move |r, w| r + w > n)
+    }
+
+    /// Median total reference count (the paper reports 1, versus
+    /// Smith's 2 at SLAC).
+    pub fn median_references(&self) -> u32 {
+        if self.files.is_empty() {
+            return 0;
+        }
+        let mut counts: Vec<u32> = self.files.values().map(|f| f.reads + f.writes).collect();
+        counts.sort_unstable();
+        counts[counts.len() / 2]
+    }
+
+    /// CDF of per-file total reference counts `(count, fraction_le)`
+    /// for Figure 8's "total" curve.
+    pub fn reference_count_cdf(&self) -> Vec<(u32, f64)> {
+        let mut counts: Vec<u32> = self.files.values().map(|f| f.reads + f.writes).collect();
+        counts.sort_unstable();
+        let n = counts.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = counts[i];
+            let mut j = i;
+            while j < n && counts[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Per-direction reference-count CDF for Figure 8's read/write curves.
+    pub fn direction_count_cdf(&self, dir: Direction) -> Vec<(u32, f64)> {
+        let mut counts: Vec<u32> = self
+            .files
+            .values()
+            .map(|f| match dir {
+                Direction::Read => f.reads,
+                Direction::Write => f.writes,
+            })
+            .collect();
+        counts.sort_unstable();
+        let n = counts.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = counts[i];
+            let mut j = i;
+            while j < n && counts[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Fraction of counted per-file interreference intervals at or below
+    /// `s` seconds (Figure 9; the paper reports 70% under one day).
+    pub fn interval_fraction_le(&self, s: f64) -> f64 {
+        self.intervals.fraction_le(s)
+    }
+
+    /// Fraction of intervals under one day.
+    pub fn intervals_under_1d(&self) -> f64 {
+        self.interval_fraction_le(DAY as f64)
+    }
+
+    /// The interval histogram (Figure 9's CDF).
+    pub fn intervals(&self) -> &LogHistogram {
+        &self.intervals
+    }
+
+    /// §6: fraction of raw requests within eight hours of a previous
+    /// request for the same file (paper: about one third).
+    pub fn repeat_within_8h_fraction(&self) -> f64 {
+        if self.raw_requests == 0 {
+            0.0
+        } else {
+            self.raw_repeats_within_8h as f64 / self.raw_requests as f64
+        }
+    }
+
+    /// Static (per-file, counted once) size histogram for Figure 11.
+    pub fn size_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new(1e3, 4.0e8, 4);
+        for f in self.files.values() {
+            h.record_weighted_by_value(f.size.max(1) as f64);
+        }
+        h
+    }
+}
+
+impl Default for FileTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::Endpoint;
+
+    fn read(path: &str, t: i64, size: u64) -> TraceRecord {
+        TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH.add_secs(t), size, path, 1)
+    }
+
+    fn write(path: &str, t: i64, size: u64) -> TraceRecord {
+        TraceRecord::write(Endpoint::MssDisk, TRACE_EPOCH.add_secs(t), size, path, 1)
+    }
+
+    #[test]
+    fn dedup_folds_requests_within_eight_hours() {
+        let mut ft = FileTracker::new();
+        ft.observe(&read("/a", 0, 10));
+        ft.observe(&read("/a", 100, 10)); // within 8h: not counted
+        ft.observe(&read("/a", 9 * HOUR, 10)); // counted
+        assert_eq!(ft.file_count(), 1);
+        assert!((ft.fraction_where(|r, _| r == 2) - 1.0).abs() < 1e-12);
+        // One counted interval (0 -> 9h).
+        assert!((ft.interval_fraction_le(10.0 * HOUR as f64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_and_writes_dedup_independently() {
+        let mut ft = FileTracker::new();
+        ft.observe(&write("/a", 0, 10));
+        ft.observe(&read("/a", 60, 10)); // a read within 8h of a write still counts
+        let f = ft.files.get("/a").unwrap();
+        assert_eq!(f.reads, 1);
+        assert_eq!(f.writes, 1);
+    }
+
+    #[test]
+    fn headline_fractions() {
+        let mut ft = FileTracker::new();
+        ft.observe(&write("/w-only", 0, 10));
+        ft.observe(&read("/r-only", 0, 10));
+        ft.observe(&write("/both", 0, 10));
+        ft.observe(&read("/both", 10 * HOUR, 10));
+        assert_eq!(ft.file_count(), 3);
+        assert!((ft.never_read() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ft.never_written() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ft.accessed_once() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ft.accessed_twice() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ft.write_once_never_read() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ft.median_references(), 1);
+        assert_eq!(ft.referenced_more_than(10), 0.0);
+    }
+
+    #[test]
+    fn raw_repeats_counted_against_dedup() {
+        let mut ft = FileTracker::new();
+        ft.observe(&read("/a", 0, 10));
+        ft.observe(&read("/a", 100, 10));
+        ft.observe(&read("/a", 200, 10));
+        ft.observe(&read("/b", 300, 10));
+        // Two of four raw requests repeat /a within 8 hours.
+        assert!((ft.repeat_within_8h_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizes_take_latest_write() {
+        let mut ft = FileTracker::new();
+        ft.observe(&write("/a", 0, 1_000_000));
+        ft.observe(&write("/a", 10 * HOUR, 2_000_000));
+        ft.observe(&read("/b", 0, 5_000_000));
+        assert_eq!(ft.total_bytes(), 7_000_000);
+        assert!((ft.avg_file_mb() - 3.5).abs() < 1e-9);
+        let h = ft.size_histogram();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn reference_count_cdf_is_monotone_and_ends_at_one() {
+        let mut ft = FileTracker::new();
+        for (i, n) in [1u32, 1, 2, 5, 40].iter().enumerate() {
+            for k in 0..*n {
+                ft.observe(&read(&format!("/f{i}"), (k as i64) * 9 * HOUR, 10));
+            }
+        }
+        let cdf = ft.reference_count_cdf();
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Two of five files referenced exactly once.
+        assert!((cdf[0].1 - 0.4).abs() < 1e-12);
+        assert_eq!(cdf[0].0, 1);
+        // One file referenced more than 10 (counted) times.
+        assert!((ft.referenced_more_than(10) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_cdfs_split_reads_and_writes() {
+        let mut ft = FileTracker::new();
+        ft.observe(&write("/a", 0, 1));
+        ft.observe(&read("/b", 0, 1));
+        let reads = ft.direction_count_cdf(Direction::Read);
+        // Half the files have 0 reads.
+        assert_eq!(reads[0], (0, 0.5));
+        let writes = ft.direction_count_cdf(Direction::Write);
+        assert_eq!(writes[0], (0, 0.5));
+    }
+
+    #[test]
+    fn empty_tracker_is_zero() {
+        let ft = FileTracker::new();
+        assert_eq!(ft.file_count(), 0);
+        assert_eq!(ft.avg_file_mb(), 0.0);
+        assert_eq!(ft.never_read(), 0.0);
+        assert_eq!(ft.median_references(), 0);
+        assert_eq!(ft.repeat_within_8h_fraction(), 0.0);
+        assert!(ft.reference_count_cdf().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Analysis bench: one-pass regeneration of every figure from a trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmig_analysis::Analyzer;
+use fmig_trace::TraceRecord;
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn records() -> Vec<TraceRecord> {
+    Workload::generate(&WorkloadConfig {
+        scale: 0.005,
+        seed: 29,
+        ..WorkloadConfig::default()
+    })
+    .records()
+    .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let recs = records();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(recs.len() as u64));
+    group.bench_function(BenchmarkId::new("all_figures", recs.len()), |b| {
+        b.iter(|| Analyzer::analyze(recs.iter()).files.file_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

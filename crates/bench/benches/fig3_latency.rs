@@ -1,0 +1,35 @@
+//! Figure 3 bench: discrete-event simulation rate of the MSS model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmig_sim::{MssSimulator, SimConfig};
+use fmig_trace::TraceRecord;
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn records() -> Vec<TraceRecord> {
+    Workload::generate(&WorkloadConfig {
+        scale: 0.002,
+        seed: 5,
+        ..WorkloadConfig::default()
+    })
+    .records()
+    .collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let recs = records();
+    let mut group = c.benchmark_group("fig3_latency");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(recs.len() as u64));
+    group.bench_function(BenchmarkId::new("simulate", recs.len()), |b| {
+        let sim = MssSimulator::new(SimConfig::default());
+        b.iter(|| sim.run(recs.clone()).metrics.requests)
+    });
+    group.bench_function(BenchmarkId::new("simulate_uncontended", recs.len()), |b| {
+        let sim = MssSimulator::new(SimConfig::uncontended());
+        b.iter(|| sim.run(recs.clone()).metrics.requests)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Workload-generator bench: events per second of synthetic NCAR trace
+//! production at several scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for scale in [0.002, 0.01, 0.05] {
+        group.bench_function(BenchmarkId::new("generate", scale.to_string()), |b| {
+            b.iter(|| {
+                Workload::generate(&WorkloadConfig {
+                    scale,
+                    seed: 9,
+                    ..WorkloadConfig::default()
+                })
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §6-a bench: cost of replaying a trace through the policy-driven disk
+//! cache, per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmig_migrate::eval::{evaluate_policies, EvalConfig};
+use fmig_migrate::policy::{Belady, Lru, MigrationPolicy, Stp};
+use fmig_trace::TraceRecord;
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn records() -> Vec<TraceRecord> {
+    Workload::generate(&WorkloadConfig {
+        scale: 0.004,
+        seed: 17,
+        ..WorkloadConfig::default()
+    })
+    .records()
+    .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let recs = records();
+    let total: u64 = recs.iter().map(|r| r.file_size).sum();
+    let config = EvalConfig::with_capacity((total as f64 * 0.015) as u64);
+    let mut group = c.benchmark_group("policy_eval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(recs.len() as u64));
+    for (name, policy) in [
+        ("stp", Box::new(Stp::classic()) as Box<dyn MigrationPolicy>),
+        ("lru", Box::new(Lru)),
+        ("belady", Box::new(Belady)),
+    ] {
+        let policies = vec![policy];
+        group.bench_function(BenchmarkId::new("replay", name), |b| {
+            b.iter(|| {
+                evaluate_policies(&recs, &policies, &config)[0]
+                    .stats
+                    .read_misses
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

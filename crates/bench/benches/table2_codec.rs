@@ -1,0 +1,63 @@
+//! Table 2 bench: throughput of the compact trace codec (write + parse)
+//! against the verbose system-log writer it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmig_trace::time::TRACE_EPOCH;
+use fmig_trace::{TraceReader, TraceRecord, TraceWriter, VerboseLogWriter};
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn records() -> Vec<TraceRecord> {
+    Workload::generate(&WorkloadConfig {
+        scale: 0.002,
+        seed: 11,
+        ..WorkloadConfig::default()
+    })
+    .records()
+    .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let recs = records();
+    let mut group = c.benchmark_group("table2_codec");
+    group.throughput(Throughput::Elements(recs.len() as u64));
+
+    group.bench_function(BenchmarkId::new("compact_write", recs.len()), |b| {
+        b.iter(|| {
+            let mut w =
+                TraceWriter::new(Vec::with_capacity(1 << 20), TRACE_EPOCH).expect("vec writer");
+            for rec in &recs {
+                w.write_record(rec).expect("write");
+            }
+            w.bytes_written()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("verbose_write", recs.len()), |b| {
+        b.iter(|| {
+            let mut w = VerboseLogWriter::new(std::io::sink());
+            for rec in &recs {
+                w.write_record(rec).expect("write");
+            }
+            w.bytes_written()
+        })
+    });
+
+    // Pre-encode once for the parse benchmark.
+    let mut w = TraceWriter::new(Vec::with_capacity(1 << 20), TRACE_EPOCH).expect("vec writer");
+    for rec in &recs {
+        w.write_record(rec).expect("write");
+    }
+    let encoded = w.finish().expect("finish");
+    group.bench_function(BenchmarkId::new("parse", recs.len()), |b| {
+        b.iter(|| {
+            TraceReader::new(std::io::Cursor::new(encoded.as_slice()))
+                .expect("header")
+                .map(|r| r.expect("record"))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

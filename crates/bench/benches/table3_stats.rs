@@ -1,0 +1,32 @@
+//! Table 3 bench: single-pass statistics accumulation over a trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmig_trace::{TraceRecord, TraceStats};
+use fmig_workload::{Workload, WorkloadConfig};
+
+fn records() -> Vec<TraceRecord> {
+    Workload::generate(&WorkloadConfig {
+        scale: 0.005,
+        seed: 3,
+        ..WorkloadConfig::default()
+    })
+    .records()
+    .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let recs = records();
+    let mut group = c.benchmark_group("table3_stats");
+    group.throughput(Throughput::Elements(recs.len() as u64));
+    group.bench_function(BenchmarkId::new("accumulate", recs.len()), |b| {
+        b.iter(|| {
+            let mut stats = TraceStats::new();
+            stats.observe_all(recs.iter());
+            stats.total_references()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

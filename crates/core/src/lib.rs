@@ -1,0 +1,39 @@
+//! End-to-end reproduction of Miller & Katz, *An Analysis of File
+//! Migration in a Unix Supercomputing Environment* (USENIX Winter 1993).
+//!
+//! This crate is the public entry point of the workspace. It wires the
+//! substrates together:
+//!
+//! * [`fmig_workload`] generates an NCAR-calibrated synthetic request
+//!   trace (the original logs are unavailable);
+//! * [`fmig_sim`] replays it against a discrete-event model of the NCAR
+//!   MSS (disk farm, StorageTek silo, operator-mounted shelf tape);
+//! * [`fmig_analysis`] regenerates every table and figure;
+//! * [`fmig_migrate`] runs the §6 algorithm studies (STP/LRU/SAAC
+//!   comparison, request dedup, dividing point, write-behind).
+//!
+//! [`Study`] runs the pipeline; [`experiments`] maps each paper artefact
+//! (`table1`..`table4`, `fig3`..`fig12`, `policies`, `dedup`, ...) to a
+//! regenerated report with paper-vs-measured comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use fmig_core::{Study, StudyConfig};
+//!
+//! let output = Study::new(StudyConfig::at_scale(0.001)).run();
+//! let fig8 = fmig_core::experiments::run_experiment("fig8", &output).unwrap();
+//! assert!(fig8.render().contains("never read"));
+//! ```
+
+pub mod experiments;
+pub mod study;
+
+pub use experiments::{experiment_ids, run_experiment, ExperimentResult};
+pub use study::{Study, StudyConfig, StudyOutput};
+
+pub use fmig_analysis as analysis;
+pub use fmig_migrate as migrate;
+pub use fmig_sim as sim;
+pub use fmig_trace as trace;
+pub use fmig_workload as workload;

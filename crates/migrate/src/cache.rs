@@ -1,0 +1,423 @@
+//! Disk-cache simulation under a migration policy.
+//!
+//! Models the fast tier (MSS staging disk or Cray local disk) in front of
+//! tape: references hit or miss; when usage crosses the high watermark the
+//! policy picks victims until the low watermark is reached — the
+//! "migrate off disk" decision every §2.3 study evaluates by miss ratio.
+//!
+//! Also models §6's write-behind: files are dirty until flushed to tape.
+//! With `eager_writeback`, dirty data is flushed as resources allow and
+//! marked "deleteable", so space reclamation never stalls on a tape
+//! write; without it, evicting a dirty file pays the flush at eviction
+//! time (`stall_bytes`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{FileView, MigrationPolicy};
+
+/// Configuration of the simulated disk cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Purge trigger as a fraction of capacity (e.g. 0.95).
+    pub high_watermark: f64,
+    /// Purge target as a fraction of capacity (e.g. 0.80).
+    pub low_watermark: f64,
+    /// Flush dirty files promptly (the §6 recommendation) instead of at
+    /// eviction time.
+    pub eager_writeback: bool,
+}
+
+impl CacheConfig {
+    /// A cache of `capacity` bytes with the conventional 95/80 marks.
+    pub fn with_capacity(capacity: u64) -> Self {
+        CacheConfig {
+            capacity,
+            high_watermark: 0.95,
+            low_watermark: 0.80,
+            eager_writeback: true,
+        }
+    }
+}
+
+/// Outcome counters for a cache run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read references that hit.
+    pub read_hits: u64,
+    /// Read references that missed (fetched from tape).
+    pub read_misses: u64,
+    /// Bytes of read hits.
+    pub read_hit_bytes: u64,
+    /// Bytes fetched on read misses.
+    pub read_miss_bytes: u64,
+    /// Write references (always land in the cache).
+    pub writes: u64,
+    /// Files evicted by the policy.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Dirty bytes that had to be flushed at eviction time (zero with
+    /// eager write-behind).
+    pub stall_bytes: u64,
+    /// Bytes flushed to tape in the background.
+    pub writeback_bytes: u64,
+}
+
+impl CacheStats {
+    /// Read miss ratio by references.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / total as f64
+        }
+    }
+
+    /// Read miss ratio by bytes.
+    pub fn byte_miss_ratio(&self) -> f64 {
+        let total = self.read_hit_bytes + self.read_miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_miss_bytes as f64 / total as f64
+        }
+    }
+
+    /// §2.3's cost translation: person-minutes lost per day to misses,
+    /// given the mean tape wait per miss and the trace length.
+    pub fn person_minutes_per_day(&self, wait_s_per_miss: f64, trace_days: f64) -> f64 {
+        if trace_days <= 0.0 {
+            return 0.0;
+        }
+        self.read_misses as f64 * wait_s_per_miss / 60.0 / trace_days
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u64,
+    last_ref: i64,
+    created: i64,
+    ref_count: u32,
+    dirty: bool,
+    next_use: Option<i64>,
+}
+
+/// A policy-driven disk cache.
+pub struct DiskCache<'p> {
+    config: CacheConfig,
+    policy: &'p dyn MigrationPolicy,
+    entries: HashMap<u64, Entry>,
+    usage: u64,
+    stats: CacheStats,
+}
+
+impl<'p> DiskCache<'p> {
+    /// Creates an empty cache under the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermarks are not `0 < low <= high <= 1`.
+    pub fn new(config: CacheConfig, policy: &'p dyn MigrationPolicy) -> Self {
+        assert!(
+            config.low_watermark > 0.0
+                && config.low_watermark <= config.high_watermark
+                && config.high_watermark <= 1.0,
+            "bad watermarks {} / {}",
+            config.low_watermark,
+            config.high_watermark
+        );
+        DiskCache {
+            config,
+            policy,
+            entries: HashMap::new(),
+            usage: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current bytes resident.
+    pub fn usage(&self) -> u64 {
+        self.usage
+    }
+
+    /// Files resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// True if the file is resident.
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Processes a read reference; returns `true` on a hit.
+    ///
+    /// `next_use` is the oracle's answer for Belady-style policies (the
+    /// next time this same file will be referenced, if ever).
+    pub fn read(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) -> bool {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last_ref = now;
+            e.ref_count += 1;
+            e.next_use = next_use;
+            self.stats.read_hits += 1;
+            self.stats.read_hit_bytes += e.size;
+            return true;
+        }
+        self.stats.read_misses += 1;
+        self.stats.read_miss_bytes += size;
+        // Fetch from tape into the cache (clean copy).
+        self.insert(id, size, now, false, next_use);
+        false
+    }
+
+    /// Processes a write reference; the file lands in the cache dirty.
+    pub fn write(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) {
+        self.stats.writes += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            self.usage = self.usage - e.size + size;
+            e.size = size;
+            e.last_ref = now;
+            e.ref_count += 1;
+            e.next_use = next_use;
+            e.dirty = !self.config.eager_writeback;
+            if self.config.eager_writeback {
+                self.stats.writeback_bytes += size;
+            }
+            self.maybe_purge(now);
+            return;
+        }
+        let dirty = !self.config.eager_writeback;
+        if self.config.eager_writeback {
+            self.stats.writeback_bytes += size;
+        }
+        self.insert(id, size, now, dirty, next_use);
+    }
+
+    fn insert(&mut self, id: u64, size: u64, now: i64, dirty: bool, next_use: Option<i64>) {
+        if size > self.config.capacity {
+            // Larger than the whole cache: bypass (tape-direct).
+            return;
+        }
+        self.entries.insert(
+            id,
+            Entry {
+                size,
+                last_ref: now,
+                created: now,
+                ref_count: 1,
+                dirty,
+                next_use,
+            },
+        );
+        self.usage += size;
+        self.maybe_purge(now);
+    }
+
+    fn maybe_purge(&mut self, now: i64) {
+        let high = (self.config.capacity as f64 * self.config.high_watermark) as u64;
+        if self.usage <= high {
+            return;
+        }
+        let low = (self.config.capacity as f64 * self.config.low_watermark) as u64;
+        // Rank every resident file by eviction priority, highest first.
+        let mut ranked: Vec<(f64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| {
+                let view = FileView {
+                    id,
+                    size: e.size,
+                    last_ref: e.last_ref,
+                    created: e.created,
+                    ref_count: e.ref_count,
+                    next_use: e.next_use,
+                };
+                (self.policy.priority(&view, now), id)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("priorities must not be NaN"));
+        for (_, id) in ranked {
+            if self.usage <= low {
+                break;
+            }
+            let e = self.entries.remove(&id).expect("ranked id is resident");
+            self.usage -= e.size;
+            self.stats.evictions += 1;
+            self.stats.evicted_bytes += e.size;
+            if e.dirty {
+                self.stats.stall_bytes += e.size;
+                self.stats.writeback_bytes += e.size;
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for DiskCache<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("policy", &self.policy.name())
+            .field("usage", &self.usage)
+            .field("files", &self.entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, SmallestFirst, Stp};
+
+    fn cfg(capacity: u64) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            high_watermark: 0.9,
+            low_watermark: 0.5,
+            eager_writeback: true,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        assert!(!c.read(1, 100, 0, None)); // cold miss
+        assert!(c.read(1, 100, 10, None)); // hit
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 1);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(c.usage(), 100);
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn purge_respects_watermarks() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        for i in 0..10 {
+            c.write(i, 100, i as i64, None);
+        }
+        // Usage crossed 900 (the high watermark); purge to <= 500.
+        assert!(c.usage() <= 500, "usage {}", c.usage());
+        assert!(c.stats().evictions >= 5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        for i in 0..8 {
+            c.write(i, 100, i as i64, None);
+        }
+        // Touch file 0 so it is the most recent.
+        assert!(c.read(0, 100, 100, None));
+        c.write(99, 200, 101, None); // triggers purge
+        assert!(c.contains(0), "recently-touched file evicted");
+        assert!(!c.contains(1), "oldest file survived");
+    }
+
+    #[test]
+    fn smallest_first_keeps_large_files() {
+        let p = SmallestFirst;
+        let mut c = DiskCache::new(cfg(1000), &p);
+        c.write(1, 500, 0, None);
+        for i in 2..=5 {
+            c.write(i, 100, i as i64, None);
+        }
+        assert!(c.contains(1), "large file should survive smallest-first");
+    }
+
+    #[test]
+    fn oversized_files_bypass_the_cache() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        assert!(!c.read(7, 5000, 0, None));
+        assert!(!c.contains(7));
+        assert_eq!(c.usage(), 0);
+        // A retry is still a miss — the file never becomes resident.
+        assert!(!c.read(7, 5000, 1, None));
+        assert_eq!(c.stats().read_misses, 2);
+    }
+
+    #[test]
+    fn lazy_writeback_pays_at_eviction() {
+        let lru = Lru;
+        let lazy = CacheConfig {
+            eager_writeback: false,
+            ..cfg(1000)
+        };
+        let mut c = DiskCache::new(lazy, &lru);
+        for i in 0..10 {
+            c.write(i, 100, i as i64, None);
+        }
+        assert!(c.stats().stall_bytes > 0, "dirty evictions must stall");
+        // Eager mode never stalls.
+        let mut e = DiskCache::new(cfg(1000), &lru);
+        for i in 0..10 {
+            e.write(i, 100, i as i64, None);
+        }
+        assert_eq!(e.stats().stall_bytes, 0);
+        assert!(e.stats().writeback_bytes >= 1000);
+    }
+
+    #[test]
+    fn person_minutes_translation() {
+        let mut s = CacheStats::default();
+        s.read_misses = 100;
+        s.read_hits = 9_900;
+        // 100 misses at 60 s over 10 days = 10 person-minutes/day.
+        assert!((s.person_minutes_per_day(60.0, 10.0) - 10.0).abs() < 1e-9);
+        assert_eq!(s.person_minutes_per_day(60.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stp_beats_smallest_first_on_a_skewed_workload() {
+        // A workload with a hot small working set and cold large files:
+        // STP should produce fewer misses than smallest-first (which
+        // throws away exactly the hot small files).
+        let run = |policy: &dyn MigrationPolicy| {
+            let mut c = DiskCache::new(cfg(10_000), policy);
+            let mut t = 0;
+            for round in 0..50 {
+                for hot in 0..5 {
+                    t += 10;
+                    c.read(hot, 500, t, None);
+                }
+                // A cold large file streams through each round.
+                t += 10;
+                c.read(1000 + round, 4000, t, None);
+            }
+            c.stats().miss_ratio()
+        };
+        let stp = run(&Stp::classic());
+        let sf = run(&SmallestFirst);
+        assert!(stp < sf, "STP {stp} should beat smallest-first {sf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad watermarks")]
+    fn bad_watermarks_rejected() {
+        let lru = Lru;
+        let bad = CacheConfig {
+            high_watermark: 0.5,
+            low_watermark: 0.9,
+            ..cfg(100)
+        };
+        let _ = DiskCache::new(bad, &lru);
+    }
+}

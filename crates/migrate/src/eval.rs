@@ -1,0 +1,286 @@
+//! Policy-comparison harness (the Smith/Lawrie experiment rerun on
+//! NCAR-like traces, §2.3 / §6-a).
+//!
+//! Each candidate policy drives a [`DiskCache`] over the same trace; the
+//! harness reports miss ratios, byte miss ratios, and the §2.3
+//! person-minutes cost. A reversed pre-pass computes every reference's
+//! next-use time so Belady's clairvoyant bound runs as an ordinary
+//! policy. Policies are evaluated on worker threads (one per policy).
+
+use std::collections::HashMap;
+
+use fmig_trace::time::TRACE_DAYS;
+use fmig_trace::{Direction, TraceRecord};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, CacheStats, DiskCache};
+use crate::policy::MigrationPolicy;
+
+/// Configuration of one comparison run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// The disk-cache geometry shared by all policies.
+    pub cache: CacheConfig,
+    /// Mean tape wait charged per read miss (seconds) for the
+    /// person-minutes metric; the paper's MSS averages ~60 s.
+    pub wait_s_per_miss: f64,
+    /// Trace length in days for per-day normalisation.
+    pub trace_days: f64,
+}
+
+impl EvalConfig {
+    /// A run with the given cache capacity and paper-like defaults.
+    pub fn with_capacity(capacity: u64) -> Self {
+        EvalConfig {
+            cache: CacheConfig::with_capacity(capacity),
+            wait_s_per_miss: 60.0,
+            trace_days: TRACE_DAYS as f64,
+        }
+    }
+}
+
+/// The result of one policy's run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Policy display name.
+    pub name: String,
+    /// Raw cache counters.
+    pub stats: CacheStats,
+    /// Read miss ratio by references.
+    pub miss_ratio: f64,
+    /// Read miss ratio by bytes.
+    pub byte_miss_ratio: f64,
+    /// §2.3 person-minutes lost per day.
+    pub person_minutes_per_day: f64,
+}
+
+/// One reference prepared for replay: id, size, direction, time, next use.
+#[derive(Debug, Clone, Copy)]
+struct PreparedRef {
+    id: u64,
+    size: u64,
+    write: bool,
+    time: i64,
+    next_use: Option<i64>,
+}
+
+/// Pre-processes a trace for replay: interns paths to ids and computes
+/// next-use times (the Belady oracle).
+fn prepare(records: &[TraceRecord]) -> Vec<PreparedRef> {
+    let mut ids: HashMap<&str, u64> = HashMap::new();
+    let mut prepared: Vec<PreparedRef> = Vec::with_capacity(records.len());
+    for rec in records {
+        if rec.error.is_some() {
+            continue;
+        }
+        let next_id = ids.len() as u64;
+        let id = *ids.entry(rec.mss_path.as_str()).or_insert(next_id);
+        prepared.push(PreparedRef {
+            id,
+            size: rec.file_size.max(1),
+            write: rec.direction() == Direction::Write,
+            time: rec.start.as_unix(),
+            next_use: None,
+        });
+    }
+    // Reverse sweep: next occurrence of each id.
+    let mut next_seen: HashMap<u64, i64> = HashMap::new();
+    for r in prepared.iter_mut().rev() {
+        r.next_use = next_seen.get(&r.id).copied();
+        next_seen.insert(r.id, r.time);
+    }
+    prepared
+}
+
+fn replay(
+    prepared: &[PreparedRef],
+    policy: &dyn MigrationPolicy,
+    config: &EvalConfig,
+) -> CacheStats {
+    let mut cache = DiskCache::new(config.cache, policy);
+    for r in prepared {
+        if r.write {
+            cache.write(r.id, r.size, r.time, r.next_use);
+        } else {
+            cache.read(r.id, r.size, r.time, r.next_use);
+        }
+    }
+    *cache.stats()
+}
+
+/// Runs every policy over the trace, in parallel, and returns outcomes
+/// in the input policy order.
+pub fn evaluate_policies(
+    records: &[TraceRecord],
+    policies: &[Box<dyn MigrationPolicy>],
+    config: &EvalConfig,
+) -> Vec<PolicyOutcome> {
+    let prepared = prepare(records);
+    let results: Mutex<Vec<Option<PolicyOutcome>>> = Mutex::new(vec![None; policies.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, policy) in policies.iter().enumerate() {
+            let prepared = &prepared;
+            let results = &results;
+            scope.spawn(move |_| {
+                let stats = replay(prepared, policy.as_ref(), config);
+                let outcome = PolicyOutcome {
+                    name: policy.name(),
+                    stats,
+                    miss_ratio: stats.miss_ratio(),
+                    byte_miss_ratio: stats.byte_miss_ratio(),
+                    person_minutes_per_day: stats
+                        .person_minutes_per_day(config.wait_s_per_miss, config.trace_days),
+                };
+                results.lock()[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("policy evaluation thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every policy produces an outcome"))
+        .collect()
+}
+
+/// Sweeps cache capacity for one policy, for miss-ratio-vs-size curves.
+pub fn capacity_sweep(
+    records: &[TraceRecord],
+    policy: &dyn MigrationPolicy,
+    capacities: &[u64],
+    base: &EvalConfig,
+) -> Vec<(u64, f64)> {
+    let prepared = prepare(records);
+    capacities
+        .iter()
+        .map(|&cap| {
+            let cfg = EvalConfig {
+                cache: CacheConfig {
+                    capacity: cap,
+                    ..base.cache
+                },
+                ..*base
+            };
+            (cap, replay(&prepared, policy, &cfg).miss_ratio())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{standard_suite, Belady, Lru, Stp};
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::Endpoint;
+
+    /// A skewed workload: a hot set of small files re-read constantly and
+    /// a stream of cold large files.
+    fn skewed_trace() -> Vec<TraceRecord> {
+        let mut records = Vec::new();
+        let mut t = 0i64;
+        for round in 0..60 {
+            for hot in 0..6 {
+                t += 20;
+                records.push(TraceRecord::read(
+                    Endpoint::MssDisk,
+                    TRACE_EPOCH.add_secs(t),
+                    400_000,
+                    format!("/hot/f{hot}"),
+                    1,
+                ));
+            }
+            t += 20;
+            records.push(TraceRecord::read(
+                Endpoint::MssTapeSilo,
+                TRACE_EPOCH.add_secs(t),
+                3_000_000,
+                format!("/cold/f{round}"),
+                1,
+            ));
+        }
+        records
+    }
+
+    #[test]
+    fn belady_is_a_lower_bound() {
+        let trace = skewed_trace();
+        let policies: Vec<Box<dyn MigrationPolicy>> =
+            vec![Box::new(Belady), Box::new(Lru), Box::new(Stp::classic())];
+        let config = EvalConfig::with_capacity(6_000_000);
+        let out = evaluate_policies(&trace, &policies, &config);
+        let belady = out[0].miss_ratio;
+        for o in &out[1..] {
+            assert!(
+                belady <= o.miss_ratio + 1e-9,
+                "Belady {belady} beaten by {} at {}",
+                o.name,
+                o.miss_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn outcomes_follow_input_order_and_have_names() {
+        let trace = skewed_trace();
+        let suite = standard_suite();
+        let out = evaluate_policies(&trace, &suite, &EvalConfig::with_capacity(5_000_000));
+        assert_eq!(out.len(), suite.len());
+        for (o, p) in out.iter().zip(suite.iter()) {
+            assert_eq!(o.name, p.name());
+            assert!(o.miss_ratio >= 0.0 && o.miss_ratio <= 1.0);
+        }
+    }
+
+    #[test]
+    fn bigger_caches_miss_less() {
+        let trace = skewed_trace();
+        let sweep = capacity_sweep(
+            &trace,
+            &Stp::classic(),
+            &[1_000_000, 4_000_000, 16_000_000, 64_000_000],
+            &EvalConfig::with_capacity(0).clone(),
+        );
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "miss ratio rose with capacity: {sweep:?}"
+            );
+        }
+        // A cache big enough for everything only cold-misses.
+        let full = sweep.last().unwrap().1;
+        let cold = 6.0 / (6.0 * 60.0) + 60.0 / (60.0 * 7.0) * 0.0; // loose sanity bound
+        assert!(full <= 0.2, "full-cache miss ratio {full} (cold ~{cold})");
+    }
+
+    #[test]
+    fn errors_are_skipped_in_replay() {
+        let mut trace = skewed_trace();
+        let mut bad = trace[0].clone();
+        bad.error = Some(fmig_trace::ErrorKind::FileNotFound);
+        trace.insert(0, bad);
+        let out = evaluate_policies(
+            &trace,
+            &[Box::new(Lru) as Box<dyn MigrationPolicy>],
+            &EvalConfig::with_capacity(5_000_000),
+        );
+        let total = out[0].stats.read_hits + out[0].stats.read_misses + out[0].stats.writes;
+        assert_eq!(total as usize, trace.len() - 1);
+    }
+
+    #[test]
+    fn person_minutes_scale_with_misses() {
+        let trace = skewed_trace();
+        let out = evaluate_policies(
+            &trace,
+            &[Box::new(Lru) as Box<dyn MigrationPolicy>],
+            &EvalConfig {
+                wait_s_per_miss: 60.0,
+                trace_days: 1.0,
+                cache: CacheConfig::with_capacity(2_000_000),
+            },
+        );
+        let expected = out[0].stats.read_misses as f64;
+        assert!((out[0].person_minutes_per_day - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! File-migration algorithms and the §6 design-implication experiments.
+//!
+//! The measurement half of the paper lives in `fmig-analysis`; this crate
+//! holds the algorithmic half:
+//!
+//! * [`policy`] — STP (Smith's space-time product), LRU, FIFO,
+//!   size-ordered, SAAC, random, and Belady's clairvoyant bound;
+//! * [`cache`] — a watermark-driven disk-cache simulator measuring miss
+//!   ratios and write-back stalls under any policy;
+//! * [`eval`] — the Smith/Lawrie comparison harness (parallel across
+//!   policies) plus capacity sweeps;
+//! * [`dedup`] — §6's eight-hour same-file request deduplication;
+//! * [`writeback`] — §6's lazy write-behind trace transformation;
+//! * [`prefetch`] — sequential (day-1 → day-2) prefetch predictability;
+//! * [`residency`] — the MSS-internal residency-window migration study;
+//! * [`dividing`] — the disk/tape dividing-point study.
+//!
+//! # Examples
+//!
+//! ```
+//! use fmig_migrate::cache::{CacheConfig, DiskCache};
+//! use fmig_migrate::policy::Stp;
+//!
+//! let stp = Stp::classic();
+//! let mut cache = DiskCache::new(CacheConfig::with_capacity(1 << 30), &stp);
+//! assert!(!cache.read(1, 25 << 20, 0, None)); // cold miss
+//! assert!(cache.read(1, 25 << 20, 60, None)); // hit
+//! ```
+
+pub mod cache;
+pub mod dedup;
+pub mod dividing;
+pub mod eval;
+pub mod policy;
+pub mod prefetch;
+pub mod residency;
+pub mod writeback;
+
+pub use cache::{CacheConfig, CacheStats, DiskCache};
+pub use dedup::DedupReport;
+pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
+pub use eval::{evaluate_policies, EvalConfig, PolicyOutcome};
+pub use policy::{
+    standard_suite, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac,
+    SmallestFirst, Stp,
+};
+pub use prefetch::PrefetchReport;
+pub use residency::{ResidencyCostModel, ResidencyOutcome, ResidencyPolicy};
+pub use writeback::{defer_writes, deferral_report, DeferralReport};

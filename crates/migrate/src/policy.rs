@@ -1,0 +1,305 @@
+//! Migration (eviction) policies from the paper and its predecessors.
+//!
+//! §2.3 and §6 discuss the policy landscape the NCAR data speaks to:
+//!
+//! * **STP** — Smith's space-time product: migrate the file with the
+//!   largest `size × (time since last reference)^k`, `k = 1.4` in
+//!   [Smith 1981]. The best practical policy in both the SLAC and
+//!   Illinois studies.
+//! * **LRU** — migrate the least recently used file regardless of size.
+//! * **Largest/Smallest-first** — pure size orderings (Lawrie's "length"
+//!   criterion).
+//! * **SAAC** — Lawrie's Space-Age-Activity criterion: like STP but
+//!   discounting files that remain active (high reference counts).
+//! * **FIFO** and **Random** — baselines.
+//! * **Belady** — the clairvoyant offline bound: evict the file whose
+//!   next use is farthest in the future (files never used again first).
+//!
+//! A policy maps a cached file's state to an eviction priority; the cache
+//! evicts highest-priority files first.
+
+use serde::{Deserialize, Serialize};
+
+/// State a policy may consult about one cached file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileView {
+    /// Stable identifier of the file.
+    pub id: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Time of the most recent reference (seconds).
+    pub last_ref: i64,
+    /// Time the file entered the cache (seconds).
+    pub created: i64,
+    /// References seen while cached.
+    pub ref_count: u32,
+    /// Next time this file will be used, if an oracle filled it in
+    /// (offline Belady mode); `None` means "never again".
+    pub next_use: Option<i64>,
+}
+
+/// An eviction policy: higher [`MigrationPolicy::priority`] leaves first.
+pub trait MigrationPolicy: Send + Sync {
+    /// Short display name ("STP(1.4)", "LRU", ...).
+    fn name(&self) -> String;
+
+    /// Eviction priority of `file` at time `now`; the cache evicts files
+    /// in descending priority order.
+    fn priority(&self, file: &FileView, now: i64) -> f64;
+
+    /// True if the policy needs `next_use` filled in by an oracle.
+    fn needs_oracle(&self) -> bool {
+        false
+    }
+}
+
+/// Smith's space-time product with configurable age exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stp {
+    /// Exponent on the age term; Smith's best was 1.4 ("STP**1.4").
+    pub exponent: f64,
+}
+
+impl Stp {
+    /// The classic STP(1.4).
+    pub fn classic() -> Self {
+        Stp { exponent: 1.4 }
+    }
+}
+
+impl MigrationPolicy for Stp {
+    fn name(&self) -> String {
+        format!("STP({:.1})", self.exponent)
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        let age = (now - file.last_ref).max(0) as f64;
+        age.powf(self.exponent) * file.size as f64
+    }
+}
+
+/// Least-recently-used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Lru;
+
+impl MigrationPolicy for Lru {
+    fn name(&self) -> String {
+        "LRU".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        (now - file.last_ref).max(0) as f64
+    }
+}
+
+/// First-in-first-out by cache entry time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fifo;
+
+impl MigrationPolicy for Fifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        (now - file.created).max(0) as f64
+    }
+}
+
+/// Migrate the largest files first (frees space fastest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LargestFirst;
+
+impl MigrationPolicy for LargestFirst {
+    fn name(&self) -> String {
+        "Largest-first".into()
+    }
+
+    fn priority(&self, file: &FileView, _now: i64) -> f64 {
+        file.size as f64
+    }
+}
+
+/// Migrate the smallest files first (a deliberately bad baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmallestFirst;
+
+impl MigrationPolicy for SmallestFirst {
+    fn name(&self) -> String {
+        "Smallest-first".into()
+    }
+
+    fn priority(&self, file: &FileView, _now: i64) -> f64 {
+        -(file.size as f64)
+    }
+}
+
+/// Lawrie's space-age-activity criterion: space-time discounted by the
+/// file's observed activity, so busy files stay even when old and large.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Saac;
+
+impl MigrationPolicy for Saac {
+    fn name(&self) -> String {
+        "SAAC".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        let age = (now - file.last_ref).max(0) as f64;
+        age * file.size as f64 / (1.0 + file.ref_count as f64)
+    }
+}
+
+/// Uniformly random eviction (seeded, deterministic per file).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomEvict {
+    /// Salt mixed into the per-file hash.
+    pub salt: u64,
+}
+
+impl MigrationPolicy for RandomEvict {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        // Hash of (id, salt, coarse time) so the ordering reshuffles over
+        // time but stays deterministic.
+        let mut x = file.id ^ self.salt ^ ((now / 86_400) as u64).wrapping_mul(0x9E37);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x >> 11) as f64
+    }
+}
+
+/// Belady's clairvoyant policy: evict the file used farthest in the
+/// future; files never used again have infinite priority.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Belady;
+
+impl MigrationPolicy for Belady {
+    fn name(&self) -> String {
+        "Belady (offline)".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        match file.next_use {
+            None => f64::INFINITY,
+            Some(t) => (t - now).max(0) as f64,
+        }
+    }
+
+    fn needs_oracle(&self) -> bool {
+        true
+    }
+}
+
+/// The standard policy suite compared in the §6 experiments.
+pub fn standard_suite() -> Vec<Box<dyn MigrationPolicy>> {
+    vec![
+        Box::new(Stp::classic()),
+        Box::new(Stp { exponent: 1.0 }),
+        Box::new(Stp { exponent: 2.0 }),
+        Box::new(Lru),
+        Box::new(Fifo),
+        Box::new(LargestFirst),
+        Box::new(SmallestFirst),
+        Box::new(Saac),
+        Box::new(RandomEvict { salt: 0xA5A5 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(id: u64, size: u64, last_ref: i64, ref_count: u32) -> FileView {
+        FileView {
+            id,
+            size,
+            last_ref,
+            created: 0,
+            ref_count,
+            next_use: None,
+        }
+    }
+
+    #[test]
+    fn stp_prefers_old_and_large() {
+        let stp = Stp::classic();
+        let old_large = file(1, 100 << 20, 0, 1);
+        let new_large = file(2, 100 << 20, 900, 1);
+        let old_small = file(3, 1 << 20, 0, 1);
+        let now = 1000;
+        assert!(stp.priority(&old_large, now) > stp.priority(&new_large, now));
+        assert!(stp.priority(&old_large, now) > stp.priority(&old_small, now));
+        assert_eq!(stp.name(), "STP(1.4)");
+    }
+
+    #[test]
+    fn stp_exponent_reweights_age_versus_size() {
+        // Old small file vs newer huge file: a larger exponent favours
+        // evicting by age; a smaller one by size.
+        let old_small = file(1, 1 << 20, 0, 1);
+        let new_huge = file(2, 1 << 30, 99_000, 1);
+        let now = 100_000;
+        let by_age = Stp { exponent: 3.0 };
+        let by_size = Stp { exponent: 0.1 };
+        assert!(by_age.priority(&old_small, now) > by_age.priority(&new_huge, now));
+        assert!(by_size.priority(&new_huge, now) > by_size.priority(&old_small, now));
+    }
+
+    #[test]
+    fn lru_ignores_size() {
+        let a = file(1, 1 << 30, 10, 1);
+        let b = file(2, 1, 5, 1);
+        assert!(Lru.priority(&b, 100) > Lru.priority(&a, 100));
+    }
+
+    #[test]
+    fn saac_protects_active_files() {
+        let idle = file(1, 10 << 20, 0, 1);
+        let busy = file(2, 10 << 20, 0, 50);
+        assert!(Saac.priority(&idle, 1000) > Saac.priority(&busy, 1000));
+    }
+
+    #[test]
+    fn belady_evicts_never_used_first() {
+        let soon = FileView {
+            next_use: Some(150),
+            ..file(1, 10, 0, 1)
+        };
+        let later = FileView {
+            next_use: Some(5000),
+            ..file(2, 10, 0, 1)
+        };
+        let never = file(3, 10, 0, 1);
+        let now = 100;
+        assert!(Belady.priority(&never, now) > Belady.priority(&later, now));
+        assert!(Belady.priority(&later, now) > Belady.priority(&soon, now));
+        assert!(Belady.needs_oracle());
+        assert!(!Lru.needs_oracle());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_spread() {
+        let p = RandomEvict { salt: 7 };
+        let a = p.priority(&file(1, 10, 0, 1), 100);
+        let b = p.priority(&file(1, 10, 0, 1), 100);
+        assert_eq!(a, b);
+        let c = p.priority(&file(2, 10, 0, 1), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn suite_has_distinct_names() {
+        let suite = standard_suite();
+        let mut names: Vec<String> = suite.iter().map(|p| p.name()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate policy names");
+        assert!(before >= 8);
+    }
+}

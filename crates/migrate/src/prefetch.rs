@@ -1,0 +1,176 @@
+//! Sequential prefetch analysis (§6 / §5.2.1).
+//!
+//! "A researcher interested in day 1 of a climate model simulation will
+//! usually be interested in day 2, and both days will probably be in
+//! separate files" — so a prefetcher that, on a read of `…/f0007`,
+//! stages `…/f0008` should absorb a large share of tape waits. This
+//! module measures what fraction of reads such a rule would have
+//! predicted, and how much data it would have moved in vain.
+
+use std::collections::HashMap;
+
+use fmig_trace::time::HOUR;
+use fmig_trace::{Direction, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Result of the sequential-predictability analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchReport {
+    /// Read references examined.
+    pub reads: u64,
+    /// Reads whose *predecessor file* (same directory, sequence − 1) was
+    /// read within the lookback window — a sequential prefetcher would
+    /// have had the file staged.
+    pub predicted: u64,
+    /// Prefetches that were never used within the window (wasted stages):
+    /// reads that did NOT have a successor read.
+    pub wasted: u64,
+}
+
+impl PrefetchReport {
+    /// Fraction of reads a sequential prefetcher would have absorbed.
+    pub fn hit_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.reads as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that were wasted.
+    pub fn waste_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.wasted as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Splits a path into `(directory, stem, sequence-number)` if its file
+/// name ends in digits (`/a/b/f0007` → `("/a/b", "f", 7)`).
+pub fn sequence_of(path: &str) -> Option<(&str, &str, u64)> {
+    let (dir, name) = path.rsplit_once('/')?;
+    let digits_at = name.find(|c: char| c.is_ascii_digit())?;
+    let (stem, digits) = name.split_at(digits_at);
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let seq: u64 = digits.parse().ok()?;
+    Some((dir, stem, seq))
+}
+
+/// Runs the analysis with the given lookback window.
+pub fn analyze<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    window_s: i64,
+) -> PrefetchReport {
+    // Last read time of each (dir, stem, seq).
+    let mut last_read: HashMap<(&'a str, &'a str, u64), i64> = HashMap::new();
+    // Whether a read's successor was later read (for waste accounting).
+    let mut successor_used: HashMap<(&'a str, &'a str, u64), bool> = HashMap::new();
+    let mut report = PrefetchReport::default();
+    for rec in records {
+        if !rec.is_ok() || rec.direction() != Direction::Read {
+            continue;
+        }
+        report.reads += 1;
+        let Some((dir, stem, seq)) = sequence_of(&rec.mss_path) else {
+            continue;
+        };
+        let t = rec.start.as_unix();
+        if seq > 0 {
+            if let Some(&prev_t) = last_read.get(&(dir, stem, seq - 1)) {
+                if t - prev_t <= window_s {
+                    report.predicted += 1;
+                    // The predecessor's prefetch paid off.
+                    successor_used.insert((dir, stem, seq - 1), true);
+                }
+            }
+        }
+        last_read.insert((dir, stem, seq), t);
+        successor_used.entry((dir, stem, seq)).or_insert(false);
+    }
+    report.wasted = successor_used.values().filter(|&&used| !used).count() as u64;
+    report
+}
+
+/// The default 24-hour-window analysis.
+pub fn daily<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> PrefetchReport {
+    analyze(records, 24 * HOUR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::Endpoint;
+
+    fn read(path: &str, t: i64) -> TraceRecord {
+        TraceRecord::read(Endpoint::MssTapeSilo, TRACE_EPOCH.add_secs(t), 10, path, 1)
+    }
+
+    #[test]
+    fn sequence_parsing() {
+        assert_eq!(sequence_of("/a/b/f0007"), Some(("/a/b", "f", 7)));
+        assert_eq!(sequence_of("/a/day123"), Some(("/a", "day", 123)));
+        assert_eq!(sequence_of("/a/readme"), None);
+        assert_eq!(sequence_of("noslash1"), None);
+        assert_eq!(sequence_of("/a/x1y2"), None); // digits not a suffix
+    }
+
+    #[test]
+    fn sequential_reads_are_predicted() {
+        let records: Vec<_> = (0..10)
+            .map(|i| read(&format!("/run/day{i:03}"), i * 60))
+            .collect();
+        let r = daily(records.iter());
+        assert_eq!(r.reads, 10);
+        // day001..day009 follow their predecessor.
+        assert_eq!(r.predicted, 9);
+        assert!((r.hit_fraction() - 0.9).abs() < 1e-12);
+        // Only the final file's prefetch went unused.
+        assert_eq!(r.wasted, 1);
+    }
+
+    #[test]
+    fn stale_predecessors_do_not_count() {
+        let records = vec![read("/run/day000", 0), read("/run/day001", 48 * HOUR)];
+        let r = daily(records.iter());
+        assert_eq!(r.predicted, 0);
+    }
+
+    #[test]
+    fn random_access_is_unpredictable() {
+        let records = vec![
+            read("/run/day005", 0),
+            read("/run/day002", 60),
+            read("/run/day009", 120),
+        ];
+        let r = daily(records.iter());
+        assert_eq!(r.predicted, 0);
+        assert_eq!(r.wasted, 3);
+    }
+
+    #[test]
+    fn different_stems_and_dirs_do_not_chain() {
+        let records = vec![
+            read("/run/day001", 0),
+            read("/run/hist002", 30),  // different stem
+            read("/other/day002", 60), // different dir
+        ];
+        let r = daily(records.iter());
+        assert_eq!(r.predicted, 0);
+    }
+
+    #[test]
+    fn writes_and_errors_are_ignored() {
+        let w = TraceRecord::write(Endpoint::MssDisk, TRACE_EPOCH, 10, "/run/day000", 1);
+        let mut bad = read("/run/day001", 10);
+        bad.error = Some(fmig_trace::ErrorKind::FileNotFound);
+        let records = vec![w, bad, read("/run/day002", 20)];
+        let r = daily(records.iter());
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.predicted, 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The MSS-internal migration study: residency windows (§3.1, §6).
+//!
+//! NCAR's MSS runs **two** migration mechanisms: the manual Cray↔MSS
+//! movement the trace records, and an internal one "relocating files on
+//! different media within the MSS". The internal policy is a pair of
+//! residency windows:
+//!
+//! * a small file stays on MSS *disk* while referenced within the disk
+//!   residency window, then migrates to tape;
+//! * a cartridge stays in the *silo* while its data is referenced within
+//!   the silo residency window, then goes to the shelf.
+//!
+//! This module replays a trace under arbitrary window settings and
+//! reports where reads would have been served and what the mean response
+//! time would have been — the knob the paper's §6 discussion (and our
+//! workload generator's placement pass) turns.
+
+use std::collections::HashMap;
+
+use fmig_trace::time::DAY;
+use fmig_trace::{DeviceClass, Direction, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::dividing::DeviceModel;
+
+/// Residency-window settings under study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyPolicy {
+    /// Days a small file stays disk-resident after its last reference.
+    pub disk_days: f64,
+    /// Days a cartridge stays in the silo after its last reference.
+    pub silo_days: f64,
+    /// Placement threshold: files at or above this size never live on
+    /// disk (NCAR: 30 MB).
+    pub tape_threshold: u64,
+}
+
+impl ResidencyPolicy {
+    /// NCAR-like defaults.
+    pub fn ncar() -> Self {
+        ResidencyPolicy {
+            disk_days: 60.0,
+            silo_days: 70.0,
+            tape_threshold: 30_000_000,
+        }
+    }
+}
+
+/// Outcome of replaying a trace under one residency policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyOutcome {
+    /// Reads served per device `[disk, silo, shelf]`.
+    pub reads_by_device: [u64; 3],
+    /// Mean response time per read, from the queue-free device models.
+    pub mean_response_s: f64,
+    /// Peak bytes simultaneously disk-resident (the staging requirement).
+    pub peak_disk_bytes: u64,
+}
+
+impl ResidencyOutcome {
+    /// Total reads replayed.
+    pub fn reads(&self) -> u64 {
+        self.reads_by_device.iter().sum()
+    }
+
+    /// Fraction of reads served by one device.
+    pub fn share(&self, device: DeviceClass) -> f64 {
+        let total = self.reads().max(1) as f64;
+        let idx = match device {
+            DeviceClass::Disk => 0,
+            DeviceClass::TapeSilo => 1,
+            DeviceClass::TapeManual => 2,
+        };
+        self.reads_by_device[idx] as f64 / total
+    }
+}
+
+/// Device response models used to cost a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyCostModel {
+    /// MSS staging disk.
+    pub disk: DeviceModel,
+    /// Robot-mounted silo tape.
+    pub silo: DeviceModel,
+    /// Operator-mounted shelf tape.
+    pub shelf: DeviceModel,
+}
+
+impl ResidencyCostModel {
+    /// Queue-free NCAR devices (§5.1.1 deductions).
+    pub fn ncar() -> Self {
+        ResidencyCostModel {
+            disk: DeviceModel {
+                overhead_s: 0.5,
+                rate_bps: 2.4e6,
+            },
+            silo: DeviceModel {
+                overhead_s: 60.0,
+                rate_bps: 2.2e6,
+            },
+            shelf: DeviceModel {
+                overhead_s: 165.0,
+                rate_bps: 2.0e6,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FileState {
+    last_ref: i64,
+    size: u64,
+    disk_resident: bool,
+}
+
+/// Replays a trace under a residency policy.
+///
+/// The replay mirrors the generator's placement pass: writes land on
+/// disk (small) or silo (large); a read's serving device follows from
+/// the file's age since last reference versus the windows. Peak disk
+/// bytes are tracked by expiring residents lazily.
+pub fn replay<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    policy: ResidencyPolicy,
+    cost: &ResidencyCostModel,
+) -> ResidencyOutcome {
+    let disk_window = (policy.disk_days * DAY as f64) as i64;
+    let silo_window = (policy.silo_days * DAY as f64) as i64;
+    let mut files: HashMap<&'a str, FileState> = HashMap::new();
+    let mut outcome = ResidencyOutcome::default();
+    let mut response_sum = 0.0;
+    let mut disk_bytes = 0u64;
+    let mut last_sweep = i64::MIN / 4;
+
+    for rec in records {
+        if !rec.is_ok() {
+            continue;
+        }
+        let t = rec.start.as_unix();
+        // Lazily expire disk residents once a simulated day.
+        if t - last_sweep > DAY {
+            files.retain(|_, f| {
+                if f.disk_resident && t - f.last_ref > disk_window {
+                    disk_bytes = disk_bytes.saturating_sub(f.size);
+                    f.disk_resident = false;
+                }
+                true
+            });
+            last_sweep = t;
+        }
+        let small = rec.file_size < policy.tape_threshold;
+        match rec.direction() {
+            Direction::Write => {
+                let entry = files.entry(rec.mss_path.as_str()).or_insert(FileState {
+                    last_ref: t,
+                    size: rec.file_size,
+                    disk_resident: false,
+                });
+                if small && !entry.disk_resident {
+                    entry.disk_resident = true;
+                    disk_bytes += rec.file_size;
+                } else if small {
+                    disk_bytes = disk_bytes - entry.size + rec.file_size;
+                }
+                entry.size = rec.file_size;
+                entry.last_ref = t;
+                outcome.peak_disk_bytes = outcome.peak_disk_bytes.max(disk_bytes);
+            }
+            Direction::Read => {
+                let age = files
+                    .get(rec.mss_path.as_str())
+                    .map_or(i64::MAX / 4, |f| t - f.last_ref);
+                let device = if small {
+                    if age <= disk_window {
+                        DeviceClass::Disk
+                    } else if age <= silo_window {
+                        DeviceClass::TapeSilo
+                    } else {
+                        DeviceClass::TapeManual
+                    }
+                } else if age <= silo_window {
+                    DeviceClass::TapeSilo
+                } else {
+                    DeviceClass::TapeManual
+                };
+                let (idx, model) = match device {
+                    DeviceClass::Disk => (0, &cost.disk),
+                    DeviceClass::TapeSilo => (1, &cost.silo),
+                    DeviceClass::TapeManual => (2, &cost.shelf),
+                };
+                outcome.reads_by_device[idx] += 1;
+                response_sum += model.access_s(rec.file_size);
+                // A read re-stages small files to disk.
+                let entry = files.entry(rec.mss_path.as_str()).or_insert(FileState {
+                    last_ref: t,
+                    size: rec.file_size,
+                    disk_resident: false,
+                });
+                if small && !entry.disk_resident {
+                    entry.disk_resident = true;
+                    disk_bytes += entry.size;
+                }
+                entry.last_ref = t;
+                outcome.peak_disk_bytes = outcome.peak_disk_bytes.max(disk_bytes);
+            }
+        }
+    }
+    if outcome.reads() > 0 {
+        outcome.mean_response_s = response_sum / outcome.reads() as f64;
+    }
+    outcome
+}
+
+/// Sweeps disk-residency windows (silo window scaled alongside) and
+/// reports the response/staging trade-off.
+pub fn window_sweep(
+    records: &[TraceRecord],
+    disk_days: &[f64],
+    cost: &ResidencyCostModel,
+) -> Vec<(f64, ResidencyOutcome)> {
+    disk_days
+        .iter()
+        .map(|&d| {
+            let policy = ResidencyPolicy {
+                disk_days: d,
+                silo_days: d * 1.2 + 10.0,
+                ..ResidencyPolicy::ncar()
+            };
+            (d, replay(records.iter(), policy, cost))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::Endpoint;
+
+    fn read(path: &str, day: i64, size: u64) -> TraceRecord {
+        TraceRecord::read(
+            Endpoint::MssDisk,
+            TRACE_EPOCH.add_secs(day * DAY + 3600),
+            size,
+            path,
+            1,
+        )
+    }
+
+    fn write(path: &str, day: i64, size: u64) -> TraceRecord {
+        TraceRecord::write(
+            Endpoint::MssDisk,
+            TRACE_EPOCH.add_secs(day * DAY),
+            size,
+            path,
+            1,
+        )
+    }
+
+    #[test]
+    fn fresh_small_files_read_from_disk() {
+        let records = vec![write("/a", 0, 1_000_000), read("/a", 1, 1_000_000)];
+        let out = replay(
+            records.iter(),
+            ResidencyPolicy::ncar(),
+            &ResidencyCostModel::ncar(),
+        );
+        assert_eq!(out.reads_by_device, [1, 0, 0]);
+        assert!(
+            out.mean_response_s < 2.0,
+            "disk read {}",
+            out.mean_response_s
+        );
+    }
+
+    #[test]
+    fn aging_moves_reads_down_the_hierarchy() {
+        let policy = ResidencyPolicy {
+            disk_days: 10.0,
+            silo_days: 50.0,
+            tape_threshold: 30_000_000,
+        };
+        let cost = ResidencyCostModel::ncar();
+        // Read 5 days after write: disk. 30 days: silo. 200 days: shelf.
+        for (gap, expect) in [(5, 0usize), (30, 1), (200, 2)] {
+            let records = vec![write("/a", 0, 1_000_000), read("/a", gap, 1_000_000)];
+            let out = replay(records.iter(), policy, &cost);
+            let mut expected = [0u64; 3];
+            expected[expect] = 1;
+            assert_eq!(out.reads_by_device, expected, "gap {gap} days");
+        }
+    }
+
+    #[test]
+    fn large_files_never_read_from_disk() {
+        let records = vec![write("/big", 0, 90_000_000), read("/big", 1, 90_000_000)];
+        let out = replay(
+            records.iter(),
+            ResidencyPolicy::ncar(),
+            &ResidencyCostModel::ncar(),
+        );
+        assert_eq!(out.reads_by_device, [0, 1, 0]);
+    }
+
+    #[test]
+    fn unknown_files_come_from_the_shelf() {
+        // Never written during the trace: it pre-dates the window.
+        let records = vec![read("/ancient", 10, 1_000_000)];
+        let out = replay(
+            records.iter(),
+            ResidencyPolicy::ncar(),
+            &ResidencyCostModel::ncar(),
+        );
+        assert_eq!(out.reads_by_device, [0, 0, 1]);
+    }
+
+    #[test]
+    fn peak_disk_bytes_tracks_the_resident_set() {
+        let policy = ResidencyPolicy {
+            disk_days: 5.0,
+            silo_days: 50.0,
+            tape_threshold: 30_000_000,
+        };
+        let mut records = Vec::new();
+        // Ten 1 MB files written on day 0, then one more on day 30 after
+        // the first ten expired.
+        for i in 0..10 {
+            records.push(write(&format!("/f{i}"), 0, 1_000_000));
+        }
+        records.push(write("/late", 30, 1_000_000));
+        let out = replay(records.iter(), policy, &ResidencyCostModel::ncar());
+        assert_eq!(out.peak_disk_bytes, 10_000_000);
+    }
+
+    #[test]
+    fn longer_windows_shift_reads_up_and_raise_staging_needs() {
+        // A workload with re-reads at many ages.
+        let mut records = Vec::new();
+        for i in 0..40 {
+            records.push(write(&format!("/f{i}"), i, 2_000_000));
+            records.push(read(&format!("/f{i}"), i + 3, 2_000_000));
+            records.push(read(&format!("/f{i}"), i + 45, 2_000_000));
+            records.push(read(&format!("/f{i}"), i + 300, 2_000_000));
+        }
+        records.sort_by_key(|r| r.start);
+        let sweep = window_sweep(&records, &[1.0, 30.0, 120.0], &ResidencyCostModel::ncar());
+        for w in sweep.windows(2) {
+            let (_, a) = &w[0];
+            let (_, b) = &w[1];
+            assert!(
+                b.share(DeviceClass::Disk) >= a.share(DeviceClass::Disk),
+                "disk share must grow with the window"
+            );
+            assert!(
+                b.mean_response_s <= a.mean_response_s + 1e-9,
+                "response must improve with the window"
+            );
+            assert!(b.peak_disk_bytes >= a.peak_disk_bytes);
+        }
+    }
+}

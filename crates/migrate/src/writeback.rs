@@ -1,0 +1,243 @@
+//! Lazy write-behind planning (§6-d).
+//!
+//! "An algorithm should not wait until it is absolutely necessary to free
+//! up space; instead, it should write data to tape relatively quickly,
+//! and then mark the file as 'deleteable'. ... A mass storage system
+//! should be optimized to make read access to files faster at the cost of
+//! requiring more work for writes."
+//!
+//! [`defer_writes`] rewrites a trace as if the MSS acknowledged writes
+//! immediately and flushed them to tape during quiet night hours — each
+//! write moves to the next 22:00–06:00 window (bounded by the file's next
+//! read, which must still find the data on tape). Running the simulator
+//! on the original and deferred traces quantifies how much read latency
+//! the daytime tape-drive contention was costing.
+
+use std::collections::HashMap;
+
+use fmig_trace::time::{Timestamp, DAY, HOUR};
+use fmig_trace::{Direction, TraceRecord};
+
+/// Start hour of the quiet window (inclusive).
+const NIGHT_START_H: i64 = 22;
+/// End hour of the quiet window (exclusive, next day).
+const NIGHT_END_H: i64 = 6;
+
+/// True if the instant falls in the 22:00–06:00 flush window.
+pub fn in_night_window(t: Timestamp) -> bool {
+    let h = t.hour_of_day() as i64;
+    !(NIGHT_END_H..NIGHT_START_H).contains(&h)
+}
+
+/// The next instant at or after `t` inside the flush window.
+pub fn next_night(t: Timestamp) -> Timestamp {
+    if in_night_window(t) {
+        return t;
+    }
+    let day_start = t.as_unix().div_euclid(DAY) * DAY;
+    Timestamp::from_unix(day_start + NIGHT_START_H * HOUR)
+}
+
+/// Rewrites a sorted trace so every write is flushed lazily.
+///
+/// Each write keeps its identity but its start time moves to the next
+/// night window (plus a spreading offset), clamped so it still lands
+/// before any later read of the same file. Reads and errors are
+/// untouched. The result is re-sorted by start time.
+pub fn defer_writes(records: &[TraceRecord]) -> Vec<TraceRecord> {
+    // Pass 1 (reverse): the next read time of each path after each index.
+    let mut next_read_after: Vec<Option<i64>> = vec![None; records.len()];
+    let mut next_read: HashMap<&str, i64> = HashMap::new();
+    for (i, rec) in records.iter().enumerate().rev() {
+        next_read_after[i] = next_read.get(rec.mss_path.as_str()).copied();
+        if rec.is_ok() && rec.direction() == Direction::Read {
+            next_read.insert(rec.mss_path.as_str(), rec.start.as_unix());
+        }
+    }
+
+    // Pass 2: move writes into the night, spreading them out within the
+    // window so the flush itself does not become a convoy.
+    let mut out: Vec<TraceRecord> = Vec::with_capacity(records.len());
+    let mut spread: i64 = 0;
+    for (i, rec) in records.iter().enumerate() {
+        if !rec.is_ok() || rec.direction() != Direction::Write {
+            out.push(rec.clone());
+            continue;
+        }
+        let night = next_night(rec.start).as_unix();
+        spread = (spread + 97) % (6 * HOUR);
+        let mut flush = night.max(rec.start.as_unix()) + spread % (4 * HOUR);
+        if let Some(read_t) = next_read_after[i] {
+            flush = flush.min(read_t - 1);
+        }
+        flush = flush.max(rec.start.as_unix());
+        let mut deferred = rec.clone();
+        deferred.start = Timestamp::from_unix(flush);
+        out.push(deferred);
+    }
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+/// Summary of how far writes moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeferralReport {
+    /// Writes examined.
+    pub writes: u64,
+    /// Writes that moved at all.
+    pub moved: u64,
+    /// Mean deferral in seconds over all writes.
+    pub mean_deferral_s: f64,
+    /// Fraction of (deferred) writes that now start in the night window.
+    pub night_fraction: f64,
+}
+
+/// Compares a trace with its deferred version.
+///
+/// The mean deferral is computed from aggregate start-time sums, which is
+/// pairing-independent (repeat writes of one file would otherwise make
+/// one-to-one matching ambiguous).
+pub fn deferral_report(before: &[TraceRecord], after: &[TraceRecord]) -> DeferralReport {
+    let mut before_sorted: Vec<i64> = before
+        .iter()
+        .filter(|r| r.is_ok() && r.direction() == Direction::Write)
+        .map(|r| r.start.as_unix())
+        .collect();
+    before_sorted.sort_unstable();
+    let mut after_sorted: Vec<i64> = Vec::with_capacity(before_sorted.len());
+    let mut writes = 0u64;
+    let mut night = 0u64;
+    for rec in after
+        .iter()
+        .filter(|r| r.is_ok() && r.direction() == Direction::Write)
+    {
+        writes += 1;
+        if in_night_window(rec.start) {
+            night += 1;
+        }
+        after_sorted.push(rec.start.as_unix());
+    }
+    after_sorted.sort_unstable();
+    // Rank-wise pairing: the i-th earliest write moved to the i-th
+    // earliest flush (deferral preserves relative order up to spreading).
+    let mut moved = 0u64;
+    let mut total_defer = 0f64;
+    for (orig, new) in before_sorted.iter().zip(after_sorted.iter()) {
+        let d = (new - orig).max(0);
+        if d > 0 {
+            moved += 1;
+        }
+        total_defer += d as f64;
+    }
+    DeferralReport {
+        writes,
+        moved,
+        mean_deferral_s: if writes == 0 {
+            0.0
+        } else {
+            total_defer / writes as f64
+        },
+        night_fraction: if writes == 0 {
+            0.0
+        } else {
+            night as f64 / writes as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::Endpoint;
+
+    fn read(path: &str, t: i64) -> TraceRecord {
+        TraceRecord::read(Endpoint::MssTapeSilo, TRACE_EPOCH.add_secs(t), 10, path, 1)
+    }
+
+    fn write(path: &str, t: i64) -> TraceRecord {
+        TraceRecord::write(Endpoint::MssTapeSilo, TRACE_EPOCH.add_secs(t), 10, path, 1)
+    }
+
+    #[test]
+    fn night_window_detection() {
+        assert!(in_night_window(TRACE_EPOCH)); // midnight
+        assert!(in_night_window(TRACE_EPOCH.add_secs(5 * HOUR)));
+        assert!(!in_night_window(TRACE_EPOCH.add_secs(12 * HOUR)));
+        assert!(in_night_window(TRACE_EPOCH.add_secs(23 * HOUR)));
+        // Next night from noon is 22:00 the same day.
+        let noon = TRACE_EPOCH.add_secs(12 * HOUR);
+        assert_eq!(next_night(noon).hour_of_day(), 22);
+        assert_eq!(next_night(noon).trace_day(), 0);
+    }
+
+    #[test]
+    fn daytime_writes_move_to_night() {
+        let records = vec![write("/a", 10 * HOUR), write("/b", 11 * HOUR)];
+        let deferred = defer_writes(&records);
+        for rec in &deferred {
+            assert!(in_night_window(rec.start), "write at {}", rec.start);
+            assert!(rec.start.as_unix() >= 10 * HOUR + TRACE_EPOCH.as_unix());
+        }
+        let report = deferral_report(&records, &deferred);
+        assert_eq!(report.writes, 2);
+        assert_eq!(report.moved, 2);
+        assert!(report.night_fraction > 0.99);
+        assert!(report.mean_deferral_s > HOUR as f64);
+    }
+
+    #[test]
+    fn flush_lands_before_the_next_read() {
+        // Write at 10:00, read back at 14:00: the flush cannot wait for
+        // night.
+        let records = vec![write("/a", 10 * HOUR), read("/a", 14 * HOUR)];
+        let deferred = defer_writes(&records);
+        let w = deferred
+            .iter()
+            .find(|r| r.direction() == Direction::Write)
+            .unwrap();
+        let r = deferred
+            .iter()
+            .find(|r| r.direction() == Direction::Read)
+            .unwrap();
+        assert!(w.start < r.start, "flush after the read-back");
+    }
+
+    #[test]
+    fn reads_and_errors_are_untouched() {
+        let mut bad = read("/gone", 9 * HOUR);
+        bad.error = Some(fmig_trace::ErrorKind::FileNotFound);
+        let records = vec![read("/a", 9 * HOUR), bad.clone(), write("/b", 10 * HOUR)];
+        let deferred = defer_writes(&records);
+        assert!(deferred
+            .iter()
+            .any(|r| r.mss_path == "/a" && r.start == records[0].start));
+        assert!(deferred
+            .iter()
+            .any(|r| r.error.is_some() && r.start == bad.start));
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let records = vec![
+            write("/a", 10 * HOUR),
+            read("/x", 11 * HOUR),
+            write("/b", 12 * HOUR),
+            read("/y", 23 * HOUR),
+        ];
+        let deferred = defer_writes(&records);
+        for w in deferred.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert_eq!(deferred.len(), records.len());
+    }
+
+    #[test]
+    fn night_writes_stay_near_their_slot() {
+        let records = vec![write("/a", 23 * HOUR)];
+        let deferred = defer_writes(&records);
+        // Already in the window: may spread forward but stays in-window
+        // or close to it, and never moves backwards.
+        assert!(deferred[0].start.as_unix() >= records[0].start.as_unix());
+    }
+}

@@ -1,0 +1,158 @@
+//! The §5.1.1 cut-through optimization, modelled analytically.
+//!
+//! "One possible way to improve perceived response time in the system
+//! would be to use cut-through, as in [MSS-II]. Under this scheme, a
+//! call to open a file returns immediately, while the operating system
+//! continues to load the file from the MSS ... This scheme works because
+//! applications often do not read data as fast as the MSS can deliver
+//! it."
+//!
+//! With cut-through, the application stalls only when it catches up with
+//! the incoming stream. For an application consuming at rate `c` and a
+//! transfer delivering at rate `r ≥ c` after a first-byte latency `L`,
+//! the perceived stall is `L` at open plus nothing afterwards; if
+//! `r < c` the application also waits for the stream to finish. Without
+//! cut-through the application waits `L + size/r` before its first byte
+//! of processing.
+
+use fmig_trace::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Application consumption model for cut-through analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutThroughModel {
+    /// Application consumption rate in bytes/second (how fast the Cray
+    /// job actually reads the staged file).
+    pub consume_bps: f64,
+    /// Per-request overlap setup cost in seconds (pipeline start).
+    pub setup_s: f64,
+}
+
+impl CutThroughModel {
+    /// A visualization-style consumer: ~1 MB/s, well under tape speed.
+    pub fn visualization() -> Self {
+        CutThroughModel {
+            consume_bps: 1.0e6,
+            setup_s: 0.5,
+        }
+    }
+}
+
+/// Perceived-stall accounting for one request population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CutThroughReport {
+    /// Requests analysed.
+    pub requests: u64,
+    /// Mean stall without cut-through (wait for the full staging).
+    pub mean_stall_without_s: f64,
+    /// Mean stall with cut-through (first byte + catch-up stalls).
+    pub mean_stall_with_s: f64,
+}
+
+impl CutThroughReport {
+    /// Stall reduction factor (>1 means cut-through helps).
+    pub fn speedup(&self) -> f64 {
+        if self.mean_stall_with_s <= 0.0 {
+            return 1.0;
+        }
+        self.mean_stall_without_s / self.mean_stall_with_s
+    }
+}
+
+/// Stall times for one request under the model.
+///
+/// Returns `(without_cut_through, with_cut_through)` in seconds, given
+/// the measured first-byte latency and transfer time of the record.
+pub fn stalls(rec: &TraceRecord, model: &CutThroughModel) -> (f64, f64) {
+    let latency = rec.startup_latency_s as f64;
+    let transfer = rec.transfer_ms as f64 / 1000.0;
+    let without = latency + transfer;
+    // With cut-through the application starts at the first byte and
+    // consumes while the tail streams in; it stalls again only if it
+    // consumes faster than the stream delivers.
+    let consume = rec.file_size as f64 / model.consume_bps;
+    let tail_stall = (transfer - consume).max(0.0);
+    let with = latency + model.setup_s + tail_stall;
+    (without, with)
+}
+
+/// Analyzes the read side of an annotated trace.
+pub fn analyze<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    model: &CutThroughModel,
+) -> CutThroughReport {
+    let mut report = CutThroughReport::default();
+    let mut without_sum = 0.0;
+    let mut with_sum = 0.0;
+    for rec in records {
+        if !rec.is_ok() || rec.direction() != fmig_trace::Direction::Read {
+            continue;
+        }
+        let (without, with) = stalls(rec, model);
+        report.requests += 1;
+        without_sum += without;
+        with_sum += with;
+    }
+    if report.requests > 0 {
+        report.mean_stall_without_s = without_sum / report.requests as f64;
+        report.mean_stall_with_s = with_sum / report.requests as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::{Endpoint, TraceRecord};
+
+    fn annotated_read(size: u64, latency_s: u32, transfer_ms: u64) -> TraceRecord {
+        let mut rec = TraceRecord::read(Endpoint::MssTapeSilo, TRACE_EPOCH, size, "/f", 1);
+        rec.startup_latency_s = latency_s;
+        rec.transfer_ms = transfer_ms;
+        rec
+    }
+
+    #[test]
+    fn slow_consumer_hides_the_transfer() {
+        // 80 MB at 2 MB/s = 40 s transfer; the app consumes at 1 MB/s
+        // (80 s), so with cut-through it never catches the stream.
+        let rec = annotated_read(80_000_000, 60, 40_000);
+        let model = CutThroughModel::visualization();
+        let (without, with) = stalls(&rec, &model);
+        assert!((without - 100.0).abs() < 1e-9);
+        assert!((with - 60.5).abs() < 1e-9, "with {with}");
+    }
+
+    #[test]
+    fn fast_consumer_still_waits_for_the_tail() {
+        // App consumes at 10 MB/s: 80 MB takes it 8 s, but the stream
+        // needs 40 s — it stalls for the remaining 32 s.
+        let rec = annotated_read(80_000_000, 60, 40_000);
+        let model = CutThroughModel {
+            consume_bps: 10.0e6,
+            setup_s: 0.0,
+        };
+        let (without, with) = stalls(&rec, &model);
+        assert!((without - 100.0).abs() < 1e-9);
+        assert!((with - 92.0).abs() < 1e-9, "with {with}");
+        assert!(with < without);
+    }
+
+    #[test]
+    fn report_aggregates_reads_only() {
+        let mut write = TraceRecord::write(Endpoint::MssDisk, TRACE_EPOCH, 10, "/w", 1);
+        write.transfer_ms = 1000;
+        let records = vec![annotated_read(80_000_000, 60, 40_000), write];
+        let report = analyze(records.iter(), &CutThroughModel::visualization());
+        assert_eq!(report.requests, 1);
+        assert!(report.speedup() > 1.5, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn empty_report_is_neutral() {
+        let report = analyze(std::iter::empty(), &CutThroughModel::visualization());
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Discrete-event simulator of the NCAR mass storage system (§3 of the
+//! Miller & Katz study).
+//!
+//! The paper measures latency to first byte on a real MSS: IBM 3380 disk
+//! behind an IBM 3090 bitfile server, a StorageTek 4400 cartridge silo,
+//! and operator-mounted shelf tape. That hardware is unavailable, so this
+//! crate rebuilds its *queueing structure*: FCFS spindles, tape drives,
+//! robot arms, human operators, and a bounded pool of bitfile movers, all
+//! driven by a trace.
+//!
+//! Feeding the synthetic workload through [`MssSimulator`] regenerates
+//! Figure 3 (per-device latency CDFs) and the Table 3 latency rows, and
+//! supports the §6 ablations (write-behind, dividing point).
+//!
+//! # Examples
+//!
+//! ```
+//! use fmig_sim::{MssSimulator, SimConfig};
+//! use fmig_trace::{Endpoint, Timestamp, TraceRecord};
+//!
+//! let rec = TraceRecord::read(
+//!     Endpoint::MssTapeSilo,
+//!     Timestamp::from_unix(0),
+//!     80_000_000,
+//!     "/CCM/run1/day001",
+//!     42,
+//! );
+//! let run = MssSimulator::new(SimConfig::default()).run(vec![rec]);
+//! // A silo read pays robot mount plus tape seek before the first byte.
+//! assert!(run.records[0].startup_latency_s > 10);
+//! ```
+
+pub mod config;
+pub mod cutthrough;
+pub mod event;
+pub mod metrics;
+pub mod pool;
+pub mod sim;
+pub mod striping;
+
+pub use config::SimConfig;
+pub use cutthrough::{CutThroughModel, CutThroughReport};
+pub use event::{EventQueue, SimMs};
+pub use metrics::{LatencyHistogram, Metrics, Utilisation};
+pub use pool::Pool;
+pub use sim::{MssSimulator, SimRun};
+pub use striping::{StripeRow, StripingStudy};

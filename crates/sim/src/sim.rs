@@ -1,0 +1,671 @@
+//! Trace-driven discrete-event simulation of the NCAR MSS data path.
+//!
+//! Each trace record becomes a request that flows through the stages the
+//! paper describes in §3.2 and §5.1.1:
+//!
+//! 1. **MSCP dispatch** — the UNICOS `lread`/`lwrite` message reaches the
+//!    IBM 3090 control processor (lognormal overhead);
+//! 2. **device acquisition** — a disk spindle, a silo drive, or a shelf
+//!    drive, each with an FCFS queue;
+//! 3. **media mount** — robot arms pick silo cartridges in ~7 s, human
+//!    operators fetch shelved cartridges in ~2 minutes with a long
+//!    lognormal tail; tape writes append to the currently mounted
+//!    cartridge and only remount when it fills (which is why Table 3
+//!    shows writes reaching the first byte faster than reads);
+//! 4. **seek** — fresh tape mounts land at a uniform position (the ~50 s
+//!    average seek the paper deduces); disk seeks are milliseconds;
+//! 5. **bitfile mover transfer** — a bounded pool of movers streams data
+//!    at ~2 MB/s observed, the global transfer-concurrency limit.
+//!
+//! The simulator annotates every record with its achieved startup latency
+//! and transfer time and aggregates Figure 3 latency histograms.
+
+use fmig_trace::{DeviceClass, Direction, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::event::{EventQueue, SimMs, MS};
+use crate::metrics::Metrics;
+use crate::pool::Pool;
+
+/// A finished simulation: the annotated trace plus aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Input records with `startup_latency_s` and `transfer_ms` filled in
+    /// from the simulation, in completion of arrival order.
+    pub records: Vec<TraceRecord>,
+    /// Latency histograms and resource utilisation.
+    pub metrics: Metrics,
+}
+
+/// The MSS simulator.
+#[derive(Debug)]
+pub struct MssSimulator {
+    config: SimConfig,
+}
+
+impl MssSimulator {
+    /// Creates a simulator with the given hardware configuration.
+    pub fn new(config: SimConfig) -> Self {
+        MssSimulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over a time-ordered record stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if records are not sorted by start time.
+    pub fn run(&self, records: impl IntoIterator<Item = TraceRecord>) -> SimRun {
+        Engine::new(&self.config).run(records.into_iter().collect())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// MSCP overhead elapsed; join the device queue.
+    Dispatch(usize),
+    /// Media mount finished.
+    MountDone(usize),
+    /// Tape positioned at the file.
+    SeekDone(usize),
+    /// Data transfer finished.
+    TransferDone(usize),
+    /// Tape drive finished unloading after a request.
+    DriveFree(usize),
+    /// An errored request was answered at the MSCP.
+    ErrorDone(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    arrival_ms: SimMs,
+    size: u64,
+    dir: Direction,
+    device: DeviceClass,
+    spindle: usize,
+    first_byte_ms: SimMs,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    rng: SmallRng,
+    queue: EventQueue<Ev>,
+    reqs: Vec<Req>,
+    spindles: Vec<Pool>,
+    silo: Pool,
+    manual: Pool,
+    robot: Pool,
+    operators: Pool,
+    movers: Pool,
+    tape_movers: Pool,
+    /// Bytes left on the mounted append cartridge, per tape class
+    /// `[silo, manual]`; starts empty so the first write mounts.
+    cart_remaining: [u64; 2],
+    metrics: Metrics,
+    first_ms: SimMs,
+    last_ms: SimMs,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        Engine {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            queue: EventQueue::new(),
+            reqs: Vec::new(),
+            spindles: vec![Pool::new(1); cfg.disk_spindles.max(1)],
+            silo: Pool::new(cfg.silo_drives),
+            manual: Pool::new(cfg.manual_drives),
+            robot: Pool::new(cfg.robot_arms),
+            operators: Pool::new(cfg.operators),
+            movers: Pool::new(cfg.movers),
+            tape_movers: Pool::new(cfg.tape_movers),
+            cart_remaining: [0, 0],
+            metrics: Metrics::new(),
+            first_ms: SimMs::MAX,
+            last_ms: SimMs::MIN,
+        }
+    }
+
+    fn run(mut self, mut records: Vec<TraceRecord>) -> SimRun {
+        let mut prev_ms = SimMs::MIN;
+        for (idx, rec) in records.iter().enumerate() {
+            let t_ms = rec.start.as_unix() * MS;
+            assert!(t_ms >= prev_ms, "records must be sorted by start time");
+            prev_ms = t_ms;
+            self.first_ms = self.first_ms.min(t_ms);
+            // Catch the simulation up to this arrival.
+            while self.queue.peek_time().is_some_and(|t| t <= t_ms) {
+                let (now, ev) = self.queue.pop().expect("peeked event");
+                self.handle(now, ev);
+            }
+            self.arrive(idx, rec, t_ms);
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            self.handle(now, ev);
+        }
+
+        // Annotate the input records from the simulated request states.
+        for (rec, req) in records.iter_mut().zip(self.reqs.iter()) {
+            let latency_ms = (req.first_byte_ms - req.arrival_ms).max(0);
+            rec.startup_latency_s = (latency_ms / MS) as u32;
+            if rec.is_ok() {
+                let rate = self.rate_of(req.device);
+                rec.transfer_ms = (req.size as f64 / rate * 1000.0) as u64;
+            } else {
+                rec.transfer_ms = 0;
+            }
+        }
+
+        self.metrics.requests = records.len() as u64;
+        let span = (self.first_ms, self.last_ms.max(self.first_ms));
+        self.metrics.utilisation.disk_spindles = self
+            .spindles
+            .iter()
+            .map(|p| p.utilisation(span.0, span.1))
+            .sum();
+        self.metrics.utilisation.silo_drives = self.silo.utilisation(span.0, span.1);
+        self.metrics.utilisation.manual_drives = self.manual.utilisation(span.0, span.1);
+        self.metrics.utilisation.robot_arms = self.robot.utilisation(span.0, span.1);
+        self.metrics.utilisation.operators = self.operators.utilisation(span.0, span.1);
+        self.metrics.utilisation.movers =
+            self.movers.utilisation(span.0, span.1) + self.tape_movers.utilisation(span.0, span.1);
+
+        SimRun {
+            records,
+            metrics: self.metrics,
+        }
+    }
+
+    fn arrive(&mut self, idx: usize, rec: &TraceRecord, t_ms: SimMs) {
+        let device = rec.mss_device().unwrap_or(DeviceClass::Disk);
+        let req = Req {
+            arrival_ms: t_ms,
+            size: rec.file_size,
+            dir: rec.direction(),
+            device,
+            // Files of one directory share a 3380 volume, so a session
+            // re-reading a dataset queues on one spindle — the source of
+            // the paper's long disk-latency tail (§5.1).
+            spindle: path_hash(
+                rec.mss_path
+                    .rsplit_once('/')
+                    .map_or(&rec.mss_path, |(d, _)| d),
+            ) as usize
+                % self.spindles.len(),
+            first_byte_ms: t_ms,
+        };
+        debug_assert_eq!(idx, self.reqs.len());
+        self.reqs.push(req);
+        if rec.error.is_some() {
+            self.metrics.errors += 1;
+            let d = self.lognormal_ms(self.cfg.error_latency_median_s, 0.5);
+            self.queue.push(t_ms + d, Ev::ErrorDone(idx));
+        } else {
+            let d = self.lognormal_ms(
+                self.cfg.mscp_overhead_median_s,
+                self.cfg.mscp_overhead_sigma,
+            );
+            self.queue.push(t_ms + d, Ev::Dispatch(idx));
+        }
+    }
+
+    fn handle(&mut self, now: SimMs, ev: Ev) {
+        self.last_ms = self.last_ms.max(now);
+        match ev {
+            Ev::Dispatch(r) => self.join_device_queue(r, now),
+            Ev::MountDone(r) => self.mount_done(r, now),
+            Ev::SeekDone(r) => self.seek_done(r, now),
+            Ev::TransferDone(r) => self.transfer_done(r, now),
+            Ev::DriveFree(r) => self.drive_free(r, now),
+            Ev::ErrorDone(r) => {
+                let req = &mut self.reqs[r];
+                req.first_byte_ms = now;
+            }
+        }
+    }
+
+    /// Stage 2: queue on the device that holds the data.
+    fn join_device_queue(&mut self, r: usize, now: SimMs) {
+        let (device, dir, spindle) = {
+            let req = &self.reqs[r];
+            (req.device, req.dir, req.spindle)
+        };
+        let _ = dir;
+        let granted = match device {
+            DeviceClass::Disk => self.spindles[spindle].acquire(r, now),
+            DeviceClass::TapeSilo => self.silo.acquire(r, now),
+            DeviceClass::TapeManual => self.manual.acquire(r, now),
+        };
+        if granted {
+            self.device_granted(r, now);
+        }
+    }
+
+    /// Stage 3: with the device held, arrange the mount (if any).
+    fn device_granted(&mut self, r: usize, now: SimMs) {
+        let (device, dir, size) = {
+            let req = &self.reqs[r];
+            (req.device, req.dir, req.size)
+        };
+        match (device, dir) {
+            (DeviceClass::Disk, _) => {
+                // No mount; contend for a channel mover directly.
+                if self.movers.acquire(r, now) {
+                    self.mover_granted(r, now);
+                }
+            }
+            (DeviceClass::TapeSilo, Direction::Read) => {
+                if self.robot.acquire(r, now) {
+                    self.robot_granted(r, now);
+                }
+            }
+            (DeviceClass::TapeManual, Direction::Read) => {
+                if self.operators.acquire(r, now) {
+                    self.operator_granted(r, now);
+                }
+            }
+            (DeviceClass::TapeSilo, Direction::Write) => {
+                if self.cart_remaining[0] < size {
+                    if self.robot.acquire(r, now) {
+                        self.robot_granted(r, now);
+                    }
+                } else if self.tape_movers.acquire(r, now) {
+                    self.mover_granted(r, now);
+                }
+            }
+            (DeviceClass::TapeManual, Direction::Write) => {
+                if self.cart_remaining[1] < size {
+                    if self.operators.acquire(r, now) {
+                        self.operator_granted(r, now);
+                    }
+                } else if self.tape_movers.acquire(r, now) {
+                    self.mover_granted(r, now);
+                }
+            }
+        }
+    }
+
+    fn robot_granted(&mut self, r: usize, now: SimMs) {
+        let d = self.jitter_ms(self.cfg.robot_mount_s, 0.2);
+        self.queue.push(now + d, Ev::MountDone(r));
+    }
+
+    fn operator_granted(&mut self, r: usize, now: SimMs) {
+        let d = self.lognormal_ms(
+            self.cfg.operator_mount_median_s,
+            self.cfg.operator_mount_sigma,
+        );
+        self.queue.push(now + d, Ev::MountDone(r));
+    }
+
+    /// Stage 4: mount finished — release the mounter and seek.
+    fn mount_done(&mut self, r: usize, now: SimMs) {
+        let (device, dir) = {
+            let req = &self.reqs[r];
+            (req.device, req.dir)
+        };
+        // Hand the arm/operator to the next waiter.
+        let next = match device {
+            DeviceClass::TapeSilo => self.robot.release(now),
+            DeviceClass::TapeManual => self.operators.release(now),
+            DeviceClass::Disk => unreachable!("disks do not mount"),
+        };
+        if let Some(n) = next {
+            match device {
+                DeviceClass::TapeSilo => self.robot_granted(n, now),
+                DeviceClass::TapeManual => self.operator_granted(n, now),
+                DeviceClass::Disk => unreachable!(),
+            }
+        }
+        match dir {
+            Direction::Read => {
+                // Fresh mount: land at a uniform tape position.
+                let seek_s = self
+                    .rng
+                    .gen_range(self.cfg.tape_seek_min_s..self.cfg.tape_seek_max_s);
+                self.queue
+                    .push(now + (seek_s * MS as f64) as SimMs, Ev::SeekDone(r));
+            }
+            Direction::Write => {
+                // New append cartridge: position to the start of tape.
+                let slot = if device == DeviceClass::TapeSilo {
+                    0
+                } else {
+                    1
+                };
+                self.cart_remaining[slot] = self.cfg.cartridge_bytes;
+                let d = self.jitter_ms(3.0, 0.3);
+                self.queue.push(now + d, Ev::SeekDone(r));
+            }
+        }
+    }
+
+    /// Stage 5 entry: positioned; wait for a bitfile mover.
+    fn seek_done(&mut self, r: usize, now: SimMs) {
+        if self.mover_pool(r).acquire(r, now) {
+            self.mover_granted(r, now);
+        }
+    }
+
+    fn mover_pool(&mut self, r: usize) -> &mut Pool {
+        if self.reqs[r].device == DeviceClass::Disk {
+            &mut self.movers
+        } else {
+            &mut self.tape_movers
+        }
+    }
+
+    /// Stage 5: the transfer begins — this is "the first byte".
+    fn mover_granted(&mut self, r: usize, now: SimMs) {
+        let (device, dir, size, arrival) = {
+            let req = &self.reqs[r];
+            (req.device, req.dir, req.size, req.arrival_ms)
+        };
+        let setup_ms = if device == DeviceClass::Disk {
+            (self.cfg.disk_seek_s * MS as f64) as SimMs
+        } else {
+            0
+        };
+        let first_byte = now + setup_ms;
+        self.reqs[r].first_byte_ms = first_byte;
+        self.metrics
+            .record_latency(dir, device, (first_byte - arrival) as f64 / MS as f64);
+        let rate = self.rate_of(device);
+        let jitter = 1.0
+            + self
+                .rng
+                .gen_range(-self.cfg.rate_jitter..self.cfg.rate_jitter);
+        let xfer_ms = (size as f64 / (rate * jitter) * 1000.0) as SimMs;
+        self.queue
+            .push(first_byte + xfer_ms.max(1), Ev::TransferDone(r));
+        if dir == Direction::Write && device != DeviceClass::Disk {
+            let slot = if device == DeviceClass::TapeSilo {
+                0
+            } else {
+                1
+            };
+            self.cart_remaining[slot] = self.cart_remaining[slot].saturating_sub(size);
+        }
+    }
+
+    /// Transfer complete: release the mover, then the device.
+    fn transfer_done(&mut self, r: usize, now: SimMs) {
+        if let Some(n) = self.mover_pool(r).release(now) {
+            self.mover_granted(n, now);
+        }
+        let (device, spindle) = {
+            let req = &self.reqs[r];
+            (req.device, req.spindle)
+        };
+        match device {
+            DeviceClass::Disk => {
+                if let Some(n) = self.spindles[spindle].release(now) {
+                    self.device_granted(n, now);
+                }
+            }
+            _ => {
+                // Tape drives stay busy while the cartridge unloads.
+                let d = (self.cfg.tape_unload_s * MS as f64) as SimMs;
+                self.queue.push(now + d, Ev::DriveFree(r));
+            }
+        }
+    }
+
+    /// Tape drive unloaded: pass it to the next waiter.
+    fn drive_free(&mut self, r: usize, now: SimMs) {
+        let device = self.reqs[r].device;
+        let next = match device {
+            DeviceClass::TapeSilo => self.silo.release(now),
+            DeviceClass::TapeManual => self.manual.release(now),
+            DeviceClass::Disk => unreachable!("disks have no unload"),
+        };
+        if let Some(n) = next {
+            self.device_granted(n, now);
+        }
+    }
+
+    fn rate_of(&self, device: DeviceClass) -> f64 {
+        match device {
+            DeviceClass::Disk => self.cfg.disk_rate,
+            DeviceClass::TapeSilo => self.cfg.silo_rate,
+            DeviceClass::TapeManual => self.cfg.manual_rate,
+        }
+    }
+
+    fn lognormal_ms(&mut self, median_s: f64, sigma: f64) -> SimMs {
+        let z = standard_normal(&mut self.rng);
+        ((median_s * (sigma * z).exp()) * MS as f64) as SimMs
+    }
+
+    fn jitter_ms(&mut self, base_s: f64, rel: f64) -> SimMs {
+        let f = 1.0 + self.rng.gen_range(-rel..rel);
+        ((base_s * f) * MS as f64) as SimMs
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// FNV-1a hash of a path, used to pin files to disk spindles.
+fn path_hash(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::{Endpoint, ErrorKind};
+
+    fn read_at(device: Endpoint, t: i64, size: u64, path: &str) -> TraceRecord {
+        TraceRecord::read(device, TRACE_EPOCH.add_secs(t), size, path, 1)
+    }
+
+    fn write_at(device: Endpoint, t: i64, size: u64, path: &str) -> TraceRecord {
+        TraceRecord::write(device, TRACE_EPOCH.add_secs(t), size, path, 1)
+    }
+
+    fn sim() -> MssSimulator {
+        MssSimulator::new(SimConfig::default())
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let run = sim().run(Vec::new());
+        assert!(run.records.is_empty());
+        assert_eq!(run.metrics.requests, 0);
+    }
+
+    #[test]
+    fn lone_disk_read_is_fast() {
+        let run = sim().run(vec![read_at(Endpoint::MssDisk, 0, 1_000_000, "/a/b")]);
+        let rec = &run.records[0];
+        // MSCP overhead plus sub-second disk work: single-digit seconds.
+        assert!(
+            rec.startup_latency_s < 15,
+            "latency {}",
+            rec.startup_latency_s
+        );
+        assert!(rec.transfer_ms > 0);
+        assert_eq!(
+            run.metrics
+                .latency_of(Direction::Read, DeviceClass::Disk)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lone_silo_read_pays_mount_and_seek() {
+        let run = sim().run(vec![read_at(Endpoint::MssTapeSilo, 0, 80_000_000, "/a/b")]);
+        let lat = run.records[0].startup_latency_s;
+        // ~7s mount + 10..90s seek + overhead.
+        assert!((15..150).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn lone_manual_read_pays_operator_mount() {
+        let run = sim().run(vec![read_at(Endpoint::MssTapeManual, 0, 80_000_000, "/a")]);
+        let lat = run.records[0].startup_latency_s;
+        assert!(lat >= 30, "latency {lat}");
+    }
+
+    #[test]
+    fn manual_reads_are_slower_than_silo_reads_on_average() {
+        let mut records = Vec::new();
+        for i in 0..300 {
+            records.push(read_at(Endpoint::MssTapeSilo, i * 600, 50_000_000, "/s"));
+            records.push(read_at(
+                Endpoint::MssTapeManual,
+                i * 600 + 300,
+                50_000_000,
+                "/m",
+            ));
+        }
+        records.sort_by_key(|r| r.start);
+        let run = sim().run(records);
+        let silo = run
+            .metrics
+            .latency_of(Direction::Read, DeviceClass::TapeSilo)
+            .mean();
+        let manual = run
+            .metrics
+            .latency_of(Direction::Read, DeviceClass::TapeManual)
+            .mean();
+        // The paper finds the silo 2-2.5x faster to the first byte.
+        let ratio = manual / silo;
+        assert!(ratio > 1.5, "manual {manual} vs silo {silo}");
+    }
+
+    #[test]
+    fn tape_writes_append_without_remounting() {
+        // First write mounts a cartridge; the rest append to it.
+        let records: Vec<_> = (0..6)
+            .map(|i| write_at(Endpoint::MssTapeSilo, i * 1200, 10_000_000, "/w"))
+            .collect();
+        let run = sim().run(records);
+        let first = run.records[0].startup_latency_s;
+        let rest_max = run.records[1..]
+            .iter()
+            .map(|r| r.startup_latency_s)
+            .max()
+            .unwrap();
+        assert!(
+            rest_max < first,
+            "appends ({rest_max}s) should beat the mounting write ({first}s)"
+        );
+    }
+
+    #[test]
+    fn cartridge_fills_force_a_remount() {
+        // 200 MB cartridge: two 90 MB writes fit, the third remounts.
+        let records: Vec<_> = (0..4)
+            .map(|i| write_at(Endpoint::MssTapeSilo, i * 1200, 90_000_000, "/w"))
+            .collect();
+        let run = sim().run(records);
+        let l: Vec<u32> = run.records.iter().map(|r| r.startup_latency_s).collect();
+        // Writes 1 and 3 mount (cartridge empty, then full); 2 and 4 append.
+        assert!(l[1] < l[0], "append {l:?}");
+        assert!(l[2] > l[1], "third write must remount: {l:?}");
+        assert!(l[3] < l[2], "fourth appends again: {l:?}");
+    }
+
+    #[test]
+    fn same_spindle_requests_serialize() {
+        let records = vec![
+            read_at(Endpoint::MssDisk, 0, 24_000_000, "/same/file"),
+            read_at(Endpoint::MssDisk, 0, 24_000_000, "/same/file"),
+            read_at(Endpoint::MssDisk, 0, 24_000_000, "/same/file"),
+        ];
+        let run = sim().run(records);
+        let mut lats: Vec<u32> = run.records.iter().map(|r| r.startup_latency_s).collect();
+        lats.sort_unstable();
+        // 24 MB at 2.4 MB/s is 10 s of service; the third in line waits
+        // for two predecessors.
+        assert!(lats[2] >= lats[0] + 10, "no queueing visible: {lats:?}");
+    }
+
+    #[test]
+    fn errors_resolve_quickly_without_devices() {
+        let mut rec = read_at(Endpoint::MssDisk, 0, 0, "/gone");
+        rec.error = Some(ErrorKind::FileNotFound);
+        let run = sim().run(vec![rec]);
+        assert_eq!(run.metrics.errors, 1);
+        assert!(run.records[0].startup_latency_s < 30);
+        assert_eq!(run.records[0].transfer_ms, 0);
+        // No device histogram entry for errors.
+        assert_eq!(
+            run.metrics
+                .latency_of(Direction::Read, DeviceClass::Disk)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let records: Vec<_> = (0..50)
+            .map(|i| read_at(Endpoint::MssTapeSilo, i * 30, 50_000_000, "/d"))
+            .collect();
+        let a = sim().run(records.clone());
+        let b = sim().run(records);
+        let la: Vec<u32> = a.records.iter().map(|r| r.startup_latency_s).collect();
+        let lb: Vec<u32> = b.records.iter().map(|r| r.startup_latency_s).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by start time")]
+    fn unsorted_input_is_rejected() {
+        let records = vec![
+            read_at(Endpoint::MssDisk, 100, 1, "/a"),
+            read_at(Endpoint::MssDisk, 0, 1, "/b"),
+        ];
+        let _ = sim().run(records);
+    }
+
+    #[test]
+    fn utilisation_is_positive_under_load() {
+        let records: Vec<_> = (0..200)
+            .map(|i| read_at(Endpoint::MssTapeSilo, i, 80_000_000, "/d"))
+            .collect();
+        let run = sim().run(records);
+        assert!(run.metrics.utilisation.movers > 0.0);
+        assert!(run.metrics.utilisation.silo_drives > 0.0);
+        assert!(run.metrics.utilisation.robot_arms > 0.0);
+    }
+
+    #[test]
+    fn contention_stretches_the_tail() {
+        // A burst of silo reads through limited drives: the queue grows
+        // and the last requests wait far longer than the first.
+        let records: Vec<_> = (0..40)
+            .map(|i| read_at(Endpoint::MssTapeSilo, i * 3, 80_000_000, "/d"))
+            .collect();
+        let run = sim().run(records);
+        let h = run
+            .metrics
+            .latency_of(Direction::Read, DeviceClass::TapeSilo);
+        assert!(
+            h.quantile(0.95) > 3.0 * h.quantile(0.1),
+            "p95 {} vs p10 {}",
+            h.quantile(0.95),
+            h.quantile(0.1)
+        );
+    }
+}

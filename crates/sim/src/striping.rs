@@ -1,0 +1,222 @@
+//! Striped tape arrays (the paper's reference \[4\], Drapeau & Katz).
+//!
+//! §2.2 notes that tape bandwidth, not just mount latency, bounds
+//! large-file response time, and cites the (then to-appear) striped tape
+//! array work. This module models reading a file striped across `k`
+//! cartridges mounted in parallel:
+//!
+//! * the robot's arms pick cartridges one at a time, so mounts pipeline
+//!   at `robot_mount / arms` spacing;
+//! * the transfer cannot start until every stripe is positioned — the
+//!   *maximum* of `k` independent seeks (order statistics work against
+//!   wide stripes);
+//! * the transfer then streams at `k ×` the single-drive rate.
+//!
+//! Striping therefore helps exactly when transfer time dominates the
+//! added mount/seek exposure — large files — and hurts small ones, the
+//! same trade-off as the paper's disk/tape dividing point.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+
+/// Expected-response model for striped tape reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StripingStudy {
+    /// Hardware parameters (mount, seek, rate, arms).
+    pub config: SimConfig,
+}
+
+/// One row of a stripe-width sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StripeRow {
+    /// Stripe width (cartridges mounted in parallel).
+    pub width: u32,
+    /// Mean response time over the sampled accesses, seconds.
+    pub mean_response_s: f64,
+    /// Mean first-byte time (mount pipeline + max seek), seconds.
+    pub mean_first_byte_s: f64,
+    /// Drive-seconds consumed per access (the capacity cost).
+    pub mean_drive_seconds: f64,
+}
+
+impl StripingStudy {
+    /// Creates a study over the given hardware.
+    pub fn new(config: SimConfig) -> Self {
+        StripingStudy { config }
+    }
+
+    /// Samples the response time of one striped read.
+    pub fn sample_response<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        size: u64,
+        width: u32,
+    ) -> StripeSample {
+        let width = width.max(1);
+        let c = &self.config;
+        // Arms pick cartridges one at a time; the last mount finishes
+        // after ceil(width/arms) pipelined picks.
+        let rounds = width.div_ceil(c.robot_arms.max(1));
+        let mount = c.robot_mount_s * rounds as f64;
+        // Every stripe seeks independently; the transfer waits for the
+        // slowest.
+        let max_seek = (0..width)
+            .map(|_| rng.gen_range(c.tape_seek_min_s..c.tape_seek_max_s))
+            .fold(0.0f64, f64::max);
+        let first_byte = mount + max_seek;
+        let transfer = size as f64 / (c.silo_rate * width as f64);
+        let response = first_byte + transfer;
+        // Each drive is held from its own mount to the end of transfer;
+        // approximate with the full span for every stripe.
+        let drive_seconds = width as f64 * (response + c.tape_unload_s);
+        StripeSample {
+            first_byte_s: first_byte,
+            response_s: response,
+            drive_seconds,
+        }
+    }
+
+    /// Sweeps stripe widths over a population of access sizes.
+    pub fn sweep<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        access_sizes: &[u64],
+        widths: &[u32],
+    ) -> Vec<StripeRow> {
+        widths
+            .iter()
+            .map(|&width| {
+                let mut first = 0.0;
+                let mut resp = 0.0;
+                let mut drive = 0.0;
+                for &size in access_sizes {
+                    let s = self.sample_response(rng, size, width);
+                    first += s.first_byte_s;
+                    resp += s.response_s;
+                    drive += s.drive_seconds;
+                }
+                let n = access_sizes.len().max(1) as f64;
+                StripeRow {
+                    width,
+                    mean_response_s: resp / n,
+                    mean_first_byte_s: first / n,
+                    mean_drive_seconds: drive / n,
+                }
+            })
+            .collect()
+    }
+
+    /// The file size above which width `k` beats a single drive in
+    /// *expected* response (ignoring seek variance): solves
+    /// `mount_k + seek + size/(k·r) = mount_1 + seek + size/r`.
+    pub fn break_even_size(&self, width: u32) -> f64 {
+        let width = width.max(2);
+        let c = &self.config;
+        let rounds_k = width.div_ceil(c.robot_arms.max(1)) as f64;
+        let extra_mount = c.robot_mount_s * (rounds_k - 1.0);
+        // Expected max of k uniforms minus the single-seek mean.
+        let (a, b) = (c.tape_seek_min_s, c.tape_seek_max_s);
+        let k = width as f64;
+        let extra_seek = (a + (b - a) * k / (k + 1.0)) - (a + b) / 2.0;
+        let saved_per_byte = (1.0 - 1.0 / k) / c.silo_rate;
+        (extra_mount + extra_seek) / saved_per_byte
+    }
+}
+
+/// One sampled striped access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StripeSample {
+    /// Seconds until all stripes are positioned.
+    pub first_byte_s: f64,
+    /// Total response time.
+    pub response_s: f64,
+    /// Drive-seconds consumed.
+    pub drive_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn study() -> StripingStudy {
+        StripingStudy::new(SimConfig::default())
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn wide_stripes_speed_up_huge_transfers() {
+        let s = study();
+        let mut r = rng();
+        // 10 GB logical object (stripes span cartridges).
+        let sizes = vec![10_000_000_000u64; 40];
+        let rows = s.sweep(&mut r, &sizes, &[1, 2, 4, 8]);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].mean_response_s < w[0].mean_response_s,
+                "wider stripes must win on huge transfers: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn striping_hurts_small_reads() {
+        let s = study();
+        let mut r = rng();
+        let sizes = vec![1_000_000u64; 200];
+        let rows = s.sweep(&mut r, &sizes, &[1, 8]);
+        assert!(
+            rows[1].mean_response_s > rows[0].mean_response_s,
+            "8-wide stripes should lose on 1 MB reads: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn drive_cost_grows_with_width() {
+        let s = study();
+        let mut r = rng();
+        let sizes = vec![200_000_000u64; 50];
+        let rows = s.sweep(&mut r, &sizes, &[1, 2, 4]);
+        for w in rows.windows(2) {
+            assert!(w[1].mean_drive_seconds > w[0].mean_drive_seconds);
+        }
+    }
+
+    #[test]
+    fn break_even_sits_between_small_and_huge() {
+        let s = study();
+        let be2 = s.break_even_size(2);
+        // Two-wide striping should pay off somewhere between a few MB
+        // and a few hundred MB on 3480-class hardware.
+        assert!(
+            (1.0e6..1.0e9).contains(&be2),
+            "2-wide break-even {be2} bytes"
+        );
+        // Empirically check: well above break-even, width 2 wins.
+        let mut r = rng();
+        let big = vec![(be2 * 4.0) as u64; 60];
+        let rows = s.sweep(&mut r, &big, &[1, 2]);
+        assert!(rows[1].mean_response_s < rows[0].mean_response_s);
+        // Well below break-even, width 1 wins.
+        let small = vec![(be2 / 8.0) as u64; 60];
+        let rows = s.sweep(&mut r, &small, &[1, 2]);
+        assert!(rows[1].mean_response_s > rows[0].mean_response_s);
+    }
+
+    #[test]
+    fn width_one_matches_unstriped_physics() {
+        let s = study();
+        let mut r = rng();
+        let sample = s.sample_response(&mut r, 80_000_000, 1);
+        // Mount + seek in [10,90] + ~36 s transfer.
+        assert!(sample.first_byte_s >= s.config.robot_mount_s + s.config.tape_seek_min_s);
+        assert!(sample.response_s > sample.first_byte_s);
+        assert!(sample.response_s < 200.0);
+    }
+}

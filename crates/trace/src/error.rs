@@ -1,0 +1,79 @@
+//! Error type shared by the trace codecs.
+
+use std::io;
+
+/// Failures arising while reading or writing trace streams.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a trace stream.
+    Parse {
+        /// 1-based line number within the stream.
+        line: u64,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The stream header is missing or incompatible.
+    BadHeader(String),
+}
+
+impl TraceError {
+    /// Convenience constructor for parse failures.
+    pub fn parse(line: u64, message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::BadHeader(msg) => write!(f, "bad trace header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TraceError::parse(12, "bad flags");
+        assert_eq!(e.to_string(), "trace parse error at line 12: bad flags");
+        let e = TraceError::BadHeader("missing epoch".into());
+        assert!(e.to_string().contains("missing epoch"));
+        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_exposed() {
+        use std::error::Error as _;
+        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "inner"));
+        assert!(e.source().is_some());
+        assert!(TraceError::parse(1, "x").source().is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! The packed flag word of the trace format (§4.2).
+//!
+//! Table 2 describes a `flags` field carrying "read/write, error
+//! information, compression information", plus "a bit in the flag field
+//! which indicates that the request was made by the same user who made the
+//! previous request". This module packs those into a 16-bit word:
+//!
+//! ```text
+//! bit 0       direction: 0 = read, 1 = write
+//! bits 1..4   error code: 0 = ok, 1 = not found, 2 = media, 3 = premature
+//! bit 4       compressed transfer
+//! bit 5       same user as previous record
+//! bits 6..16  reserved, must be zero
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Direction, ErrorKind};
+
+const DIR_WRITE: u16 = 1 << 0;
+const ERR_SHIFT: u16 = 1;
+const ERR_MASK: u16 = 0b111 << ERR_SHIFT;
+const COMPRESSED: u16 = 1 << 4;
+const SAME_USER: u16 = 1 << 5;
+const RESERVED: u16 = !(DIR_WRITE | ERR_MASK | COMPRESSED | SAME_USER);
+
+/// A decoded-or-encodable trace flag word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FlagWord(u16);
+
+impl FlagWord {
+    /// Builds a flag word from its component fields.
+    pub fn new(
+        direction: Direction,
+        error: Option<ErrorKind>,
+        compressed: bool,
+        same_user: bool,
+    ) -> Self {
+        let mut bits = 0u16;
+        if direction == Direction::Write {
+            bits |= DIR_WRITE;
+        }
+        if let Some(kind) = error {
+            bits |= (kind.code() as u16) << ERR_SHIFT;
+        }
+        if compressed {
+            bits |= COMPRESSED;
+        }
+        if same_user {
+            bits |= SAME_USER;
+        }
+        FlagWord(bits)
+    }
+
+    /// Reconstructs a flag word from raw bits, rejecting reserved bits and
+    /// unknown error codes.
+    pub fn from_bits(bits: u16) -> Option<Self> {
+        if bits & RESERVED != 0 {
+            return None;
+        }
+        let code = ((bits & ERR_MASK) >> ERR_SHIFT) as u8;
+        if code != 0 && ErrorKind::from_code(code).is_none() {
+            return None;
+        }
+        Some(FlagWord(bits))
+    }
+
+    /// Raw 16-bit representation written to the trace.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Transfer direction carried in bit 0.
+    pub const fn direction(self) -> Direction {
+        if self.0 & DIR_WRITE != 0 {
+            Direction::Write
+        } else {
+            Direction::Read
+        }
+    }
+
+    /// Error kind carried in bits 1–3, if any.
+    pub fn error(self) -> Option<ErrorKind> {
+        ErrorKind::from_code(((self.0 & ERR_MASK) >> ERR_SHIFT) as u8)
+    }
+
+    /// Whether the transfer was compressed.
+    pub const fn compressed(self) -> bool {
+        self.0 & COMPRESSED != 0
+    }
+
+    /// Whether this request came from the same user as the previous one.
+    pub const fn same_user(self) -> bool {
+        self.0 & SAME_USER != 0
+    }
+
+    /// Returns a copy with the same-user bit set as given.
+    #[must_use]
+    pub const fn with_same_user(self, same: bool) -> Self {
+        if same {
+            FlagWord(self.0 | SAME_USER)
+        } else {
+            FlagWord(self.0 & !SAME_USER)
+        }
+    }
+}
+
+impl core::fmt::Display for FlagWord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        for dir in Direction::ALL {
+            for err in [
+                None,
+                Some(ErrorKind::FileNotFound),
+                Some(ErrorKind::MediaError),
+            ] {
+                for comp in [false, true] {
+                    for same in [false, true] {
+                        let w = FlagWord::new(dir, err, comp, same);
+                        assert_eq!(w.direction(), dir);
+                        assert_eq!(w.error(), err);
+                        assert_eq!(w.compressed(), comp);
+                        assert_eq!(w.same_user(), same);
+                        assert_eq!(FlagWord::from_bits(w.bits()), Some(w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        assert_eq!(FlagWord::from_bits(1 << 6), None);
+        assert_eq!(FlagWord::from_bits(0xFF00), None);
+    }
+
+    #[test]
+    fn unknown_error_code_rejected() {
+        // Code 5 in bits 1..4 is not a valid ErrorKind.
+        assert_eq!(FlagWord::from_bits(5 << 1), None);
+    }
+
+    #[test]
+    fn with_same_user_toggles_only_that_bit() {
+        let w = FlagWord::new(Direction::Write, Some(ErrorKind::MediaError), true, false);
+        let w2 = w.with_same_user(true);
+        assert!(w2.same_user());
+        assert_eq!(w2.direction(), Direction::Write);
+        assert_eq!(w2.error(), Some(ErrorKind::MediaError));
+        assert!(w2.compressed());
+        assert_eq!(w2.with_same_user(false), w);
+    }
+
+    #[test]
+    fn default_is_clean_read() {
+        let w = FlagWord::default();
+        assert_eq!(w.direction(), Direction::Read);
+        assert_eq!(w.error(), None);
+        assert!(!w.compressed());
+        assert!(!w.same_user());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any 16-bit pattern either decodes to a word that re-encodes to
+        /// itself, or is rejected outright — never silently normalised.
+        #[test]
+        fn from_bits_is_partial_identity(bits in any::<u16>()) {
+            if let Some(w) = FlagWord::from_bits(bits) {
+                prop_assert_eq!(w.bits(), bits);
+            }
+        }
+
+        /// Construction from fields always produces decodable bits.
+        #[test]
+        fn constructed_words_always_decode(
+            write in any::<bool>(),
+            err in 0u8..=3,
+            comp in any::<bool>(),
+            same in any::<bool>(),
+        ) {
+            let dir = if write { Direction::Write } else { Direction::Read };
+            let err = ErrorKind::from_code(err);
+            let w = FlagWord::new(dir, err, comp, same);
+            prop_assert_eq!(FlagWord::from_bits(w.bits()), Some(w));
+            prop_assert_eq!(w.direction(), dir);
+            prop_assert_eq!(w.error(), err);
+        }
+    }
+}

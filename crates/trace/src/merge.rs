@@ -1,0 +1,167 @@
+//! K-way merge of trace streams.
+//!
+//! Sites collect logs in monthly chunks (NCAR rotated ~50 MB of raw log
+//! per month, §4.1); analyses want one time-ordered stream. This module
+//! merges any number of record iterators by start time, preserving the
+//! relative order of equal-timestamp records from the same source.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+use crate::time::Timestamp;
+
+/// Merges time-sorted record streams into one time-ordered stream.
+///
+/// Input streams yield `Result<TraceRecord, TraceError>` (the shape
+/// [`crate::TraceReader`] produces). Errors surface in-place; the stream
+/// that produced an error keeps going.
+pub struct MergedTrace<I>
+where
+    I: Iterator<Item = Result<TraceRecord, TraceError>>,
+{
+    sources: Vec<I>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    start: Timestamp,
+    source: usize,
+    record: Result<TraceRecord, TraceError>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start && self.source == other.source
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.start, self.source).cmp(&(other.start, other.source))
+    }
+}
+
+impl<I> MergedTrace<I>
+where
+    I: Iterator<Item = Result<TraceRecord, TraceError>>,
+{
+    /// Builds a merger over the given sources.
+    pub fn new(sources: impl IntoIterator<Item = I>) -> Self {
+        let mut merged = MergedTrace {
+            sources: sources.into_iter().collect(),
+            heap: BinaryHeap::new(),
+        };
+        for idx in 0..merged.sources.len() {
+            merged.refill(idx);
+        }
+        merged
+    }
+
+    fn refill(&mut self, source: usize) {
+        if let Some(item) = self.sources[source].next() {
+            let start = match &item {
+                Ok(rec) => rec.start,
+                // Surface errors promptly: schedule at the epoch floor.
+                Err(_) => Timestamp::from_unix(i64::MIN / 2),
+            };
+            self.heap.push(Reverse(HeapEntry {
+                start,
+                source,
+                record: item,
+            }));
+        }
+    }
+}
+
+impl<I> Iterator for MergedTrace<I>
+where
+    I: Iterator<Item = Result<TraceRecord, TraceError>>,
+{
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.refill(entry.source);
+        Some(entry.record)
+    }
+}
+
+/// Convenience: merges in-memory sorted record vectors.
+pub fn merge_sorted(traces: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let sources = traces
+        .into_iter()
+        .map(|v| v.into_iter().map(Ok).collect::<Vec<_>>().into_iter());
+    MergedTrace::new(sources)
+        .map(|r| r.expect("infallible in-memory sources"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Endpoint;
+    use crate::time::TRACE_EPOCH;
+
+    fn rec(t: i64, path: &str) -> TraceRecord {
+        TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH.add_secs(t), 1, path, 1)
+    }
+
+    #[test]
+    fn merges_two_sorted_streams() {
+        let a = vec![rec(0, "/a0"), rec(10, "/a10"), rec(20, "/a20")];
+        let b = vec![rec(5, "/b5"), rec(15, "/b15")];
+        let merged = merge_sorted(vec![a, b]);
+        let times: Vec<i64> = merged.iter().map(|r| r.start.since_epoch()).collect();
+        assert_eq!(times, [0, 5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn equal_timestamps_prefer_earlier_sources() {
+        let a = vec![rec(7, "/a")];
+        let b = vec![rec(7, "/b")];
+        let merged = merge_sorted(vec![a, b]);
+        assert_eq!(merged[0].mss_path, "/a");
+        assert_eq!(merged[1].mss_path, "/b");
+    }
+
+    #[test]
+    fn empty_and_single_sources() {
+        assert!(merge_sorted(vec![]).is_empty());
+        assert!(merge_sorted(vec![vec![], vec![]]).is_empty());
+        let single = merge_sorted(vec![vec![rec(1, "/x")]]);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn errors_pass_through() {
+        let good: Vec<Result<TraceRecord, TraceError>> = vec![Ok(rec(3, "/ok"))];
+        let bad: Vec<Result<TraceRecord, TraceError>> =
+            vec![Err(TraceError::parse(1, "boom")), Ok(rec(9, "/late"))];
+        let merged: Vec<_> = MergedTrace::new(vec![good.into_iter(), bad.into_iter()]).collect();
+        assert_eq!(merged.len(), 3);
+        assert!(merged[0].is_err(), "error should surface first");
+        assert!(merged[1].as_ref().is_ok_and(|r| r.mss_path == "/ok"));
+        assert!(merged[2].as_ref().is_ok_and(|r| r.mss_path == "/late"));
+    }
+
+    #[test]
+    fn three_way_merge_is_globally_sorted() {
+        let mut traces = Vec::new();
+        for s in 0..3i64 {
+            traces.push((0..50).map(|i| rec(s + i * 3, "/f")).collect::<Vec<_>>());
+        }
+        let merged = merge_sorted(traces);
+        assert_eq!(merged.len(), 150);
+        for w in merged.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+}

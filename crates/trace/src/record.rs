@@ -1,0 +1,385 @@
+//! The trace record and its supporting enums (Table 2 of the paper).
+//!
+//! A record describes one explicit MSS request made from the Cray with the
+//! UNICOS `lread`/`lwrite` commands: where the data came from and went to,
+//! when the request started, how long the MSS took to deliver the first
+//! byte (startup latency), how long the transfer ran, the file size, both
+//! file names, and the requesting user.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// One endpoint of a transfer — either the Cray or one of the three MSS
+/// storage classes (§3.1: 3380 disk, StorageTek silo, shelved tape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The Cray Y-MP's local disks (the requesting side).
+    Cray,
+    /// IBM 3380 disk attached to the MSS control processor.
+    MssDisk,
+    /// A 3480 cartridge inside the StorageTek 4400 automated silo.
+    MssTapeSilo,
+    /// A shelved cartridge requiring an operator mount.
+    MssTapeManual,
+}
+
+impl Endpoint {
+    /// The MSS storage class of this endpoint, or `None` for the Cray.
+    pub const fn device_class(self) -> Option<DeviceClass> {
+        match self {
+            Endpoint::Cray => None,
+            Endpoint::MssDisk => Some(DeviceClass::Disk),
+            Endpoint::MssTapeSilo => Some(DeviceClass::TapeSilo),
+            Endpoint::MssTapeManual => Some(DeviceClass::TapeManual),
+        }
+    }
+
+    /// Short mnemonic used by the trace codec.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Endpoint::Cray => "cray",
+            Endpoint::MssDisk => "disk",
+            Endpoint::MssTapeSilo => "silo",
+            Endpoint::MssTapeManual => "shelf",
+        }
+    }
+
+    /// Parses the codec mnemonic back into an endpoint.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "cray" => Endpoint::Cray,
+            "disk" => Endpoint::MssDisk,
+            "silo" => Endpoint::MssTapeSilo,
+            "shelf" => Endpoint::MssTapeManual,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The three MSS storage classes the paper breaks Table 3 down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// MSS magnetic disk (IBM 3380).
+    Disk,
+    /// Robot-mounted tape (StorageTek 4400 ACS).
+    TapeSilo,
+    /// Operator-mounted shelved tape.
+    TapeManual,
+}
+
+impl DeviceClass {
+    /// All classes in the paper's Table 3 row order.
+    pub const ALL: [DeviceClass; 3] = [
+        DeviceClass::Disk,
+        DeviceClass::TapeSilo,
+        DeviceClass::TapeManual,
+    ];
+
+    /// Human-readable label matching the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DeviceClass::Disk => "Disk",
+            DeviceClass::TapeSilo => "Tape (silo)",
+            DeviceClass::TapeManual => "Tape (manual)",
+        }
+    }
+
+    /// The MSS-side endpoint for this class.
+    pub const fn endpoint(self) -> Endpoint {
+        match self {
+            DeviceClass::Disk => Endpoint::MssDisk,
+            DeviceClass::TapeSilo => Endpoint::MssTapeSilo,
+            DeviceClass::TapeManual => Endpoint::MssTapeManual,
+        }
+    }
+}
+
+impl core::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Transfer direction as seen from the Cray (§5.2: reads are human-driven,
+/// writes machine-driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// MSS → Cray.
+    Read,
+    /// Cray → MSS.
+    Write,
+}
+
+impl Direction {
+    /// Both directions in the paper's column order.
+    pub const ALL: [Direction; 2] = [Direction::Read, Direction::Write];
+
+    /// Label used in tables ("Reads"/"Writes").
+    pub const fn label(self) -> &'static str {
+        match self {
+            Direction::Read => "Reads",
+            Direction::Write => "Writes",
+        }
+    }
+}
+
+impl core::fmt::Display for Direction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a request failed (§5.1: 4.76% of the 3,688,817 raw references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The requested bitfile does not exist — "the most common error".
+    FileNotFound,
+    /// Unrecoverable media (tape/disk) error.
+    MediaError,
+    /// The transfer was cut short before completion.
+    PrematureTermination,
+}
+
+impl ErrorKind {
+    /// All kinds, in flag-code order (code 1, 2, 3; 0 means no error).
+    pub const ALL: [ErrorKind; 3] = [
+        ErrorKind::FileNotFound,
+        ErrorKind::MediaError,
+        ErrorKind::PrematureTermination,
+    ];
+
+    /// Flag-field code for this kind (`1..=3`).
+    pub const fn code(self) -> u8 {
+        match self {
+            ErrorKind::FileNotFound => 1,
+            ErrorKind::MediaError => 2,
+            ErrorKind::PrematureTermination => 3,
+        }
+    }
+
+    /// Decodes a flag-field code; `0` and unknown codes yield `None`.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorKind::FileNotFound),
+            2 => Some(ErrorKind::MediaError),
+            3 => Some(ErrorKind::PrematureTermination),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ErrorKind::FileNotFound => "file not found",
+            ErrorKind::MediaError => "media error",
+            ErrorKind::PrematureTermination => "premature termination",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single trace record: one MSS request with the Table 2 fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Device the data came from.
+    pub source: Endpoint,
+    /// Device the data is going to.
+    pub destination: Endpoint,
+    /// Instant the request was issued on the Cray.
+    pub start: Timestamp,
+    /// Seconds from request issue until the first byte moved (queueing +
+    /// mount + seek).
+    pub startup_latency_s: u32,
+    /// Milliseconds the data transfer itself took.
+    pub transfer_ms: u64,
+    /// File size in bytes (MSS files are capped at 200 MB, §3.1).
+    pub file_size: u64,
+    /// Bitfile name on the MSS.
+    pub mss_path: String,
+    /// File name on the requesting computer.
+    pub local_path: String,
+    /// Numeric id of the requesting user.
+    pub uid: u32,
+    /// Failure recorded for this request, if any.
+    pub error: Option<ErrorKind>,
+    /// Whether the data was compressed in flight.
+    pub compressed: bool,
+}
+
+impl TraceRecord {
+    /// Builds a successful read of `size` bytes from an MSS device.
+    ///
+    /// Latency and transfer time start at zero; the simulator fills them
+    /// in, or the workload generator synthesises them.
+    pub fn read(
+        device: Endpoint,
+        start: Timestamp,
+        size: u64,
+        mss_path: impl Into<String>,
+        uid: u32,
+    ) -> Self {
+        let mss_path = mss_path.into();
+        let local_path = derive_local_path(&mss_path);
+        TraceRecord {
+            source: device,
+            destination: Endpoint::Cray,
+            start,
+            startup_latency_s: 0,
+            transfer_ms: 0,
+            file_size: size,
+            mss_path,
+            local_path,
+            uid,
+            error: None,
+            compressed: false,
+        }
+    }
+
+    /// Builds a successful write of `size` bytes to an MSS device.
+    pub fn write(
+        device: Endpoint,
+        start: Timestamp,
+        size: u64,
+        mss_path: impl Into<String>,
+        uid: u32,
+    ) -> Self {
+        let mss_path = mss_path.into();
+        let local_path = derive_local_path(&mss_path);
+        TraceRecord {
+            source: Endpoint::Cray,
+            destination: device,
+            start,
+            startup_latency_s: 0,
+            transfer_ms: 0,
+            file_size: size,
+            mss_path,
+            local_path,
+            uid,
+            error: None,
+            compressed: false,
+        }
+    }
+
+    /// Transfer direction implied by the endpoints.
+    ///
+    /// A record whose source is the Cray is a write; anything flowing out
+    /// of an MSS device is a read.
+    pub fn direction(&self) -> Direction {
+        if self.source == Endpoint::Cray {
+            Direction::Write
+        } else {
+            Direction::Read
+        }
+    }
+
+    /// The MSS storage class serving this request.
+    ///
+    /// `None` only for malformed records with no MSS endpoint.
+    pub fn mss_device(&self) -> Option<DeviceClass> {
+        self.source
+            .device_class()
+            .or_else(|| self.destination.device_class())
+    }
+
+    /// True if the request completed without error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// File size in megabytes (10^6 bytes, as the paper reports sizes).
+    pub fn size_mb(&self) -> f64 {
+        self.file_size as f64 / 1.0e6
+    }
+
+    /// Instant the first byte moved.
+    pub fn first_byte_at(&self) -> Timestamp {
+        self.start.add_secs(self.startup_latency_s as i64)
+    }
+
+    /// Instant the transfer finished.
+    pub fn completed_at(&self) -> Timestamp {
+        self.first_byte_at()
+            .add_secs((self.transfer_ms / 1000) as i64)
+    }
+}
+
+/// Derives the Cray-local scratch path the paper's Table 2 pairs with each
+/// MSS bitfile name.
+fn derive_local_path(mss_path: &str) -> String {
+    match mss_path.rsplit_once('/') {
+        Some((_, base)) => format!("/tmp/wk/{base}"),
+        None => format!("/tmp/wk/{mss_path}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TRACE_EPOCH;
+
+    #[test]
+    fn read_and_write_directions() {
+        let r = TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH, 1 << 20, "/A/b/c", 7);
+        assert_eq!(r.direction(), Direction::Read);
+        assert_eq!(r.mss_device(), Some(DeviceClass::Disk));
+        let w = TraceRecord::write(Endpoint::MssTapeSilo, TRACE_EPOCH, 1 << 20, "/A/b/c", 7);
+        assert_eq!(w.direction(), Direction::Write);
+        assert_eq!(w.mss_device(), Some(DeviceClass::TapeSilo));
+    }
+
+    #[test]
+    fn local_path_mirrors_basename() {
+        let r = TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH, 1, "/CCM/run9/day004", 7);
+        assert_eq!(r.local_path, "/tmp/wk/day004");
+        let r2 = TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH, 1, "bare", 7);
+        assert_eq!(r2.local_path, "/tmp/wk/bare");
+    }
+
+    #[test]
+    fn endpoint_mnemonics_roundtrip() {
+        for ep in [
+            Endpoint::Cray,
+            Endpoint::MssDisk,
+            Endpoint::MssTapeSilo,
+            Endpoint::MssTapeManual,
+        ] {
+            assert_eq!(Endpoint::from_mnemonic(ep.mnemonic()), Some(ep));
+        }
+        assert_eq!(Endpoint::from_mnemonic("nope"), None);
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_code(0), None);
+        assert_eq!(ErrorKind::from_code(7), None);
+    }
+
+    #[test]
+    fn completion_times_accumulate() {
+        let mut r = TraceRecord::read(Endpoint::MssTapeSilo, TRACE_EPOCH, 80_000_000, "/x", 1);
+        r.startup_latency_s = 85;
+        r.transfer_ms = 40_000;
+        assert_eq!(r.first_byte_at(), TRACE_EPOCH.add_secs(85));
+        assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(125));
+        assert!((r.size_mb() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_class_labels_match_paper() {
+        assert_eq!(DeviceClass::Disk.label(), "Disk");
+        assert_eq!(DeviceClass::TapeSilo.label(), "Tape (silo)");
+        assert_eq!(DeviceClass::TapeManual.label(), "Tape (manual)");
+        assert_eq!(DeviceClass::TapeManual.endpoint(), Endpoint::MssTapeManual);
+    }
+}

@@ -1,0 +1,468 @@
+//! Calendar and timestamp arithmetic for the two-year trace window.
+//!
+//! The paper's trace covers October 1, 1990 through September 30, 1992 —
+//! 731 days (1992 is a leap year). Daily and weekly periodicity (Figures
+//! 4–5), week-of-trace series (Figure 6), and the Thanksgiving/Christmas
+//! read-rate dips all need real civil-calendar arithmetic, which this
+//! module implements from scratch (the offline crate set has no `chrono`).
+//!
+//! Dates use the proleptic Gregorian calendar via Howard Hinnant's
+//! `days_from_civil` algorithm; timestamps are seconds since the Unix
+//! epoch, interpreted in the machine's local (NCAR, Mountain) time for the
+//! purposes of hour-of-day binning — the traces themselves were logged in
+//! local time, so no zone conversion is applied.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one minute.
+pub const MINUTE: i64 = 60;
+/// Seconds in one hour.
+pub const HOUR: i64 = 3600;
+/// Seconds in one day.
+pub const DAY: i64 = 86_400;
+/// Seconds in one week.
+pub const WEEK: i64 = 7 * DAY;
+
+/// First instant of the study: 1990-10-01 00:00:00 (a Monday).
+pub const TRACE_EPOCH: Timestamp = Timestamp::from_civil_parts(1990, 10, 1);
+
+/// Exclusive end of the study: 1992-10-01 00:00:00.
+pub const TRACE_END: Timestamp = Timestamp::from_civil_parts(1992, 10, 1);
+
+/// Length of the traced period in seconds (731 days, as in §5.2.1).
+pub const TRACE_SECONDS: i64 = TRACE_END.0 - TRACE_EPOCH.0;
+
+/// Number of whole days in the traced period.
+pub const TRACE_DAYS: i64 = TRACE_SECONDS / DAY;
+
+/// An absolute point in time, stored as seconds since the Unix epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Builds a timestamp from raw seconds since the Unix epoch.
+    pub const fn from_unix(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Builds a timestamp for midnight at the start of a civil date.
+    pub const fn from_civil_parts(year: i32, month: u8, day: u8) -> Self {
+        Timestamp(days_from_civil(year, month, day) * DAY)
+    }
+
+    /// Builds a timestamp from a [`CivilDate`] plus a time of day.
+    pub fn from_civil(date: CivilDate, hour: u8, minute: u8, second: u8) -> Self {
+        Timestamp(
+            days_from_civil(date.year, date.month, date.day) * DAY
+                + hour as i64 * HOUR
+                + minute as i64 * MINUTE
+                + second as i64,
+        )
+    }
+
+    /// Raw seconds since the Unix epoch.
+    pub const fn as_unix(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds elapsed since the study epoch ([`TRACE_EPOCH`]).
+    pub const fn since_epoch(self) -> i64 {
+        self.0 - TRACE_EPOCH.0
+    }
+
+    /// The civil date containing this instant.
+    pub fn civil(self) -> CivilDate {
+        civil_from_days(self.0.div_euclid(DAY))
+    }
+
+    /// Day of the week, with Sunday = 0 as in the paper's Figure 5 axis.
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_index(((self.0.div_euclid(DAY) + 4).rem_euclid(7)) as u8)
+    }
+
+    /// Hour of the day in `0..24` (0 = midnight, as in Figure 4).
+    pub fn hour_of_day(self) -> u8 {
+        (self.0.rem_euclid(DAY) / HOUR) as u8
+    }
+
+    /// Whole days since the study epoch (may be negative before it).
+    pub fn trace_day(self) -> i64 {
+        self.since_epoch().div_euclid(DAY)
+    }
+
+    /// Whole weeks since the study epoch; the study spans weeks `0..104`.
+    pub fn trace_week(self) -> i64 {
+        self.since_epoch().div_euclid(WEEK)
+    }
+
+    /// Returns `self` advanced by `secs` seconds.
+    #[must_use]
+    pub const fn add_secs(self, secs: i64) -> Self {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Seconds from `earlier` to `self` (negative if `self` is earlier).
+    pub const fn seconds_since(self, earlier: Timestamp) -> i64 {
+        self.0 - earlier.0
+    }
+
+    /// True if the instant falls within the study window.
+    pub fn in_trace_window(self) -> bool {
+        self >= TRACE_EPOCH && self < TRACE_END
+    }
+
+    /// The holiday this instant falls on, if any (drives the Figure 6 dips).
+    pub fn holiday(self) -> Option<Holiday> {
+        self.civil().holiday()
+    }
+}
+
+impl core::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let d = self.civil();
+        let tod = self.0.rem_euclid(DAY);
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            d.year,
+            d.month,
+            d.day,
+            tod / HOUR,
+            (tod % HOUR) / MINUTE,
+            tod % MINUTE
+        )
+    }
+}
+
+/// A Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    /// Gregorian year (e.g. 1990).
+    pub year: i32,
+    /// Month in `1..=12`.
+    pub month: u8,
+    /// Day of month in `1..=31`.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Builds a date, panicking on out-of-range month/day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month` is not in `1..=12` or `day` not in `1..=31`.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!((1..=31).contains(&day), "day {day} out of range");
+        CivilDate { year, month, day }
+    }
+
+    /// Day of the week for this date, Sunday = 0.
+    pub fn weekday(self) -> Weekday {
+        Timestamp::from_civil_parts(self.year, self.month, self.day).weekday()
+    }
+
+    /// The US holiday on this date, if any.
+    ///
+    /// Figure 6 shows read-rate drops "around Thanksgiving and Christmas
+    /// for both 1990 and 1991"; we recognise the holidays that empty the
+    /// NCAR machine room of scientists.
+    pub fn holiday(self) -> Option<Holiday> {
+        // Thanksgiving: fourth Thursday of November; the lab is quiet on
+        // the following Friday too.
+        if self.month == 11 {
+            let thanksgiving = nth_weekday_of_month(self.year, 11, Weekday::Thursday, 4);
+            if self.day == thanksgiving {
+                return Some(Holiday::Thanksgiving);
+            }
+            if self.day == thanksgiving + 1 {
+                return Some(Holiday::ThanksgivingFriday);
+            }
+        }
+        // Christmas through New Year shutdown.
+        if self.month == 12 && (24..=31).contains(&self.day) {
+            return Some(Holiday::Christmas);
+        }
+        if self.month == 1 && self.day == 1 {
+            return Some(Holiday::NewYear);
+        }
+        if self.month == 7 && self.day == 4 {
+            return Some(Holiday::IndependenceDay);
+        }
+        None
+    }
+
+    /// True in leap years of the Gregorian calendar.
+    pub fn is_leap_year(self) -> bool {
+        let y = self.year;
+        (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+    }
+
+    /// Number of days in this date's month.
+    pub fn days_in_month(self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if self.is_leap_year() => 29,
+            2 => 28,
+            m => unreachable!("invalid month {m}"),
+        }
+    }
+}
+
+impl core::fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Day of the week with the paper's Sunday-first numbering (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Weekday {
+    /// Day 0 in Figure 5.
+    Sunday = 0,
+    /// Day 1.
+    Monday = 1,
+    /// Day 2.
+    Tuesday = 2,
+    /// Day 3.
+    Wednesday = 3,
+    /// Day 4.
+    Thursday = 4,
+    /// Day 5.
+    Friday = 5,
+    /// Day 6.
+    Saturday = 6,
+}
+
+impl Weekday {
+    /// All days in Figure 5 order (Sunday first).
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Sunday,
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+    ];
+
+    /// Converts the paper's 0..7 (Sunday-first) index into a weekday.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 7`.
+    pub fn from_index(idx: u8) -> Self {
+        Self::ALL[idx as usize]
+    }
+
+    /// The paper's Sunday-first index in `0..7`.
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// True for Saturday and Sunday — the Figure 5 read-rate trough.
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+impl core::fmt::Display for Weekday {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Weekday::Sunday => "Sun",
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+        };
+        f.write_str(name)
+    }
+}
+
+/// US holidays that visibly dent interactive read traffic (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Holiday {
+    /// Fourth Thursday of November.
+    Thanksgiving,
+    /// The Friday after Thanksgiving.
+    ThanksgivingFriday,
+    /// December 24–31 shutdown.
+    Christmas,
+    /// January 1.
+    NewYear,
+    /// July 4.
+    IndependenceDay,
+}
+
+impl Holiday {
+    /// Multiplier applied to the interactive (read) arrival rate on this
+    /// holiday; write traffic is unaffected ("the Cray doesn't take a
+    /// Christmas vacation while the scientists do", §5.2).
+    pub fn read_rate_factor(self) -> f64 {
+        match self {
+            Holiday::Thanksgiving => 0.25,
+            Holiday::ThanksgivingFriday => 0.40,
+            Holiday::Christmas => 0.30,
+            Holiday::NewYear => 0.35,
+            Holiday::IndependenceDay => 0.45,
+        }
+    }
+}
+
+/// Days since 1970-01-01 for a Gregorian `(y, m, d)` (Hinnant's algorithm).
+pub const fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - (m <= 2) as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = m as i64;
+    let d = d as i64;
+    let mp = if m > 2 { m - 3 } else { m + 9 };
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Gregorian date for a count of days since 1970-01-01 (inverse of
+/// [`days_from_civil`]).
+pub fn civil_from_days(z: i64) -> CivilDate {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+    CivilDate {
+        year: (y + (m <= 2) as i64) as i32,
+        month: m,
+        day: d,
+    }
+}
+
+/// Day-of-month of the `n`-th given weekday of a month (n is 1-based).
+///
+/// # Panics
+///
+/// Panics if the month does not contain an `n`-th such weekday.
+pub fn nth_weekday_of_month(year: i32, month: u8, weekday: Weekday, n: u8) -> u8 {
+    let first = CivilDate::new(year, month, 1);
+    let first_wd = first.weekday().index();
+    let offset = (weekday.index() + 7 - first_wd) % 7;
+    let day = 1 + offset + (n - 1) * 7;
+    assert!(
+        day <= first.days_in_month(),
+        "{year}-{month:02} has no {n}th weekday {weekday}"
+    );
+    day
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday_october_first() {
+        assert_eq!(TRACE_EPOCH.civil(), CivilDate::new(1990, 10, 1));
+        assert_eq!(TRACE_EPOCH.weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn trace_window_is_731_days() {
+        assert_eq!(TRACE_DAYS, 731);
+        assert_eq!(TRACE_SECONDS, 731 * DAY);
+    }
+
+    #[test]
+    fn unix_epoch_is_thursday() {
+        assert_eq!(Timestamp::from_unix(0).weekday(), Weekday::Thursday);
+        assert_eq!(Timestamp::from_unix(0).civil(), CivilDate::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn civil_roundtrip_over_trace_window() {
+        let mut day = TRACE_EPOCH.as_unix() / DAY;
+        while day < TRACE_END.as_unix() / DAY {
+            let d = civil_from_days(day);
+            assert_eq!(days_from_civil(d.year, d.month, d.day), day);
+            day += 1;
+        }
+    }
+
+    #[test]
+    fn hour_of_day_and_trace_day() {
+        let t = TRACE_EPOCH.add_secs(3 * DAY + 14 * HOUR + 17 * MINUTE);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.trace_day(), 3);
+        assert_eq!(t.trace_week(), 0);
+        assert_eq!(t.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn trace_week_spans_0_to_104() {
+        assert_eq!(TRACE_EPOCH.trace_week(), 0);
+        assert_eq!(TRACE_END.add_secs(-1).trace_week(), 104);
+    }
+
+    #[test]
+    fn thanksgiving_1990_and_1991() {
+        // 1990: November 22; 1991: November 28 (both fourth Thursdays).
+        assert_eq!(nth_weekday_of_month(1990, 11, Weekday::Thursday, 4), 22);
+        assert_eq!(nth_weekday_of_month(1991, 11, Weekday::Thursday, 4), 28);
+        assert_eq!(
+            CivilDate::new(1990, 11, 22).holiday(),
+            Some(Holiday::Thanksgiving)
+        );
+        assert_eq!(
+            CivilDate::new(1991, 11, 29).holiday(),
+            Some(Holiday::ThanksgivingFriday)
+        );
+    }
+
+    #[test]
+    fn christmas_window() {
+        assert_eq!(
+            CivilDate::new(1991, 12, 25).holiday(),
+            Some(Holiday::Christmas)
+        );
+        assert_eq!(CivilDate::new(1991, 12, 23).holiday(), None);
+        assert_eq!(CivilDate::new(1992, 1, 1).holiday(), Some(Holiday::NewYear));
+    }
+
+    #[test]
+    fn leap_year_1992() {
+        assert!(CivilDate::new(1992, 2, 1).is_leap_year());
+        assert!(!CivilDate::new(1990, 2, 1).is_leap_year());
+        assert_eq!(CivilDate::new(1992, 2, 1).days_in_month(), 29);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Timestamp::from_civil(CivilDate::new(1991, 3, 7), 9, 5, 2);
+        assert_eq!(t.to_string(), "1991-03-07 09:05:02");
+        assert_eq!(t.civil().to_string(), "1991-03-07");
+    }
+
+    #[test]
+    fn weekday_index_roundtrip() {
+        for wd in Weekday::ALL {
+            assert_eq!(Weekday::from_index(wd.index()), wd);
+        }
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(!Weekday::Wednesday.is_weekend());
+    }
+
+    #[test]
+    fn negative_timestamps_behave() {
+        let t = Timestamp::from_unix(-1);
+        assert_eq!(t.civil(), CivilDate::new(1969, 12, 31));
+        assert_eq!(t.hour_of_day(), 23);
+    }
+}

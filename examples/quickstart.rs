@@ -1,0 +1,64 @@
+//! Quickstart: generate a small NCAR-like trace, run the full study, and
+//! print the headline findings of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fmig_core::{Study, StudyConfig};
+use fmig_trace::{DeviceClass, Direction};
+
+fn main() {
+    // A study at 1% of NCAR's two-year volume: ~35k requests, ~9k files.
+    let config = StudyConfig::at_scale(0.01);
+    let output = Study::new(config).run();
+
+    let stats = &output.analysis.stats;
+    println!(
+        "trace: {} raw references over 731 days",
+        stats.raw_references
+    );
+    println!(
+        "reads : {} ({:.0}% of references, {:.0}% of bytes)",
+        stats.reads.total.references,
+        stats.read_reference_share() * 100.0,
+        stats.read_byte_share() * 100.0,
+    );
+    println!(
+        "writes: {} (the paper's 2:1 read/write ratio)",
+        stats.writes.total.references
+    );
+    println!(
+        "errors: {:.2}% of requests (dominated by file-not-found)",
+        stats.error_fraction() * 100.0
+    );
+
+    // The paper's central design observation: humans wait for reads,
+    // machines wait for writes.
+    let hourly = &output.analysis.hourly;
+    println!(
+        "\nperiodicity: read rate peak/trough over the day = {:.1}x, writes = {:.1}x",
+        hourly.peak_to_trough(Direction::Read),
+        hourly.peak_to_trough(Direction::Write),
+    );
+
+    // Per-file behaviour drives migration policy.
+    let files = &output.analysis.files;
+    println!(
+        "\nfiles: {} referenced; {:.0}% never read, {:.0}% written once and never read",
+        files.file_count(),
+        files.never_read() * 100.0,
+        files.write_once_never_read() * 100.0,
+    );
+
+    // Device latencies from the MSS simulation.
+    let lat = &output.analysis.latency;
+    println!("\nmean seconds to first byte (simulated MSS):");
+    for device in DeviceClass::ALL {
+        println!("  {:14} {:7.1}", device.label(), lat.device_mean(device));
+    }
+    println!(
+        "\n(run `cargo run --release -p fmig-bench --bin repro -- all` for every\n\
+         table and figure with paper-vs-measured comparisons)"
+    );
+}

@@ -1,0 +1,1 @@
+pub use fmig_core::*;
