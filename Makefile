@@ -1,0 +1,26 @@
+# Local verify == CI verify: each target below is exactly one CI job
+# (.github/workflows/ci.yml). Run `make ci` before pushing.
+
+CARGO ?= cargo
+
+.PHONY: ci build test fmt lint bench clean
+
+ci: build test fmt lint bench
+
+build:
+	$(CARGO) build --release --workspace --all-targets
+
+test:
+	$(CARGO) test --workspace -q
+
+fmt:
+	$(CARGO) fmt --all --check
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+bench:
+	$(CARGO) bench --no-run --workspace
+
+clean:
+	$(CARGO) clean

@@ -377,9 +377,11 @@ mod tests {
 
     #[test]
     fn person_minutes_translation() {
-        let mut s = CacheStats::default();
-        s.read_misses = 100;
-        s.read_hits = 9_900;
+        let s = CacheStats {
+            read_misses: 100,
+            read_hits: 9_900,
+            ..CacheStats::default()
+        };
         // 100 misses at 60 s over 10 days = 10 person-minutes/day.
         assert!((s.person_minutes_per_day(60.0, 10.0) - 10.0).abs() < 1e-9);
         assert_eq!(s.person_minutes_per_day(60.0, 0.0), 0.0);

@@ -118,11 +118,11 @@ pub fn evaluate_policies(
 ) -> Vec<PolicyOutcome> {
     let prepared = prepare(records);
     let results: Mutex<Vec<Option<PolicyOutcome>>> = Mutex::new(vec![None; policies.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, policy) in policies.iter().enumerate() {
             let prepared = &prepared;
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let stats = replay(prepared, policy.as_ref(), config);
                 let outcome = PolicyOutcome {
                     name: policy.name(),
@@ -135,8 +135,7 @@ pub fn evaluate_policies(
                 results.lock()[i] = Some(outcome);
             });
         }
-    })
-    .expect("policy evaluation thread panicked");
+    });
     results
         .into_inner()
         .into_iter()

@@ -135,14 +135,14 @@ mod tests {
 
     #[test]
     fn stale_predecessors_do_not_count() {
-        let records = vec![read("/run/day000", 0), read("/run/day001", 48 * HOUR)];
+        let records = [read("/run/day000", 0), read("/run/day001", 48 * HOUR)];
         let r = daily(records.iter());
         assert_eq!(r.predicted, 0);
     }
 
     #[test]
     fn random_access_is_unpredictable() {
-        let records = vec![
+        let records = [
             read("/run/day005", 0),
             read("/run/day002", 60),
             read("/run/day009", 120),
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn different_stems_and_dirs_do_not_chain() {
-        let records = vec![
+        let records = [
             read("/run/day001", 0),
             read("/run/hist002", 30),  // different stem
             read("/other/day002", 60), // different dir
@@ -168,7 +168,7 @@ mod tests {
         let w = TraceRecord::write(Endpoint::MssDisk, TRACE_EPOCH, 10, "/run/day000", 1);
         let mut bad = read("/run/day001", 10);
         bad.error = Some(fmig_trace::ErrorKind::FileNotFound);
-        let records = vec![w, bad, read("/run/day002", 20)];
+        let records = [w, bad, read("/run/day002", 20)];
         let r = daily(records.iter());
         assert_eq!(r.reads, 1);
         assert_eq!(r.predicted, 0);

@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn fresh_small_files_read_from_disk() {
-        let records = vec![write("/a", 0, 1_000_000), read("/a", 1, 1_000_000)];
+        let records = [write("/a", 0, 1_000_000), read("/a", 1, 1_000_000)];
         let out = replay(
             records.iter(),
             ResidencyPolicy::ncar(),
@@ -283,7 +283,7 @@ mod tests {
         let cost = ResidencyCostModel::ncar();
         // Read 5 days after write: disk. 30 days: silo. 200 days: shelf.
         for (gap, expect) in [(5, 0usize), (30, 1), (200, 2)] {
-            let records = vec![write("/a", 0, 1_000_000), read("/a", gap, 1_000_000)];
+            let records = [write("/a", 0, 1_000_000), read("/a", gap, 1_000_000)];
             let out = replay(records.iter(), policy, &cost);
             let mut expected = [0u64; 3];
             expected[expect] = 1;
@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn large_files_never_read_from_disk() {
-        let records = vec![write("/big", 0, 90_000_000), read("/big", 1, 90_000_000)];
+        let records = [write("/big", 0, 90_000_000), read("/big", 1, 90_000_000)];
         let out = replay(
             records.iter(),
             ResidencyPolicy::ncar(),
@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn unknown_files_come_from_the_shelf() {
         // Never written during the trace: it pre-dates the window.
-        let records = vec![read("/ancient", 10, 1_000_000)];
+        let records = [read("/ancient", 10, 1_000_000)];
         let out = replay(
             records.iter(),
             ResidencyPolicy::ncar(),

@@ -143,7 +143,7 @@ mod tests {
     fn report_aggregates_reads_only() {
         let mut write = TraceRecord::write(Endpoint::MssDisk, TRACE_EPOCH, 10, "/w", 1);
         write.transfer_ms = 1000;
-        let records = vec![annotated_read(80_000_000, 60, 40_000), write];
+        let records = [annotated_read(80_000_000, 60, 40_000), write];
         let report = analyze(records.iter(), &CutThroughModel::visualization());
         assert_eq!(report.requests, 1);
         assert!(report.speedup() > 1.5, "speedup {}", report.speedup());

@@ -65,14 +65,14 @@ mod tests {
         assert_eq!(e.to_string(), "trace parse error at line 12: bad flags");
         let e = TraceError::BadHeader("missing epoch".into());
         assert!(e.to_string().contains("missing epoch"));
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = TraceError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
     #[test]
     fn io_source_is_exposed() {
         use std::error::Error as _;
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "inner"));
+        let e = TraceError::from(io::Error::other("inner"));
         assert!(e.source().is_some());
         assert!(TraceError::parse(1, "x").source().is_none());
     }

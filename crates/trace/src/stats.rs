@@ -228,7 +228,7 @@ fn device_index(class: DeviceClass) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{Endpoint, TraceRecord};
+    use crate::record::TraceRecord;
     use crate::time::TRACE_EPOCH;
 
     fn rec(dir: Direction, dev: DeviceClass, size: u64, lat: u32) -> TraceRecord {

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // elision, percent-escaped paths).
     let path = std::env::temp_dir().join("fmig-roundtrip.trace");
     let mut writer = TraceWriter::new(BufWriter::new(File::create(&path)?), TRACE_EPOCH)?;
-    let mut verbose_bytes = 0u64;
+    let verbose_bytes;
     {
         let mut verbose = VerboseLogWriter::new(std::io::sink());
         for rec in workload.records() {

@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion` covering the API the fmig benches
+//! use: `Criterion::benchmark_group`, `BenchmarkGroup::{throughput,
+//! sample_size, bench_function, finish}`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It really measures: each benchmark is warmed up once, then timed over
+//! `sample_size` batches, reporting min/mean per-iteration wall-clock
+//! time (and throughput when configured). There is no statistical
+//! analysis, HTML report, or comparison against saved baselines — this
+//! exists so `cargo bench` runs and `cargo bench --no-run` compiles
+//! offline; swap the workspace dependency back to crates.io criterion
+//! for real measurements.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the hint criterion 0.5 exposes.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into_benchmark_id().label(), sample_size, None, f);
+    }
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark name plus an input parameter, as in criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label());
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping each return value alive
+    /// through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One warm-up pass, then `sample_size` timed single-iteration samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let mean = total / sample_size as u32;
+
+    let mut line = format!(
+        "  {label}: mean {}, min {} ({sample_size} samples)",
+        fmt_duration(mean),
+        fmt_duration(best)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                let _ = write!(line, ", {:.3} Melem/s", per_sec(n) / 1e6);
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(line, ", {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0));
+            }
+            Throughput::BytesDecimal(n) => {
+                let _ = write!(line, ", {:.3} MB/s", per_sec(n) / 1e6);
+            }
+        }
+    }
+    eprintln!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group; ignores harness CLI arguments
+/// (`--bench`, filters) that `cargo bench` forwards.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut calls = 0u32;
+        group
+            .sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::new("count", 10), |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+        group.finish();
+        // Warm-up (1 iter) + 3 samples × 1 iter.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn plain_str_id_works() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

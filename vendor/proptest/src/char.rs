@@ -1,0 +1,46 @@
+//! Character strategies (`proptest::char::range`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform characters in `lo..=hi` (by code point, skipping the
+/// surrogate gap).
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo, hi }
+}
+
+/// Strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let lo = self.lo as u32;
+        let span = u64::from(self.hi as u32 - lo) + 1;
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below(span) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = TestRng::deterministic("char-range", 0);
+        let s = range('a', 'z');
+        for _ in 0..200 {
+            assert!(s.sample(&mut rng).is_ascii_lowercase());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `proptest` covering the surface this workspace
+//! uses: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! range and tuple strategies, [`any`](arbitrary::any), `Just`,
+//! [`collection::vec`], [`char::range`], string strategies from a small
+//! regex subset, and the `proptest!` / `prop_compose!` / `prop_oneof!` /
+//! `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Semantics versus real proptest:
+//!
+//! * cases are sampled from a deterministic RNG seeded by test name and
+//!   case index, so failures reproduce exactly across runs and machines;
+//! * there is no shrinking — a failing case reports its inputs' seed but
+//!   not a minimised counterexample;
+//! * `prop_assume!` rejects the current case rather than resampling.
+//!
+//! That keeps the property tests meaningful (they still drive hundreds
+//! of randomised inputs through the public APIs) while building fully
+//! offline. Repointing `[workspace.dependencies] proptest` at crates.io
+//! restores the full engine with no source changes.
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Property-test harness macro. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that samples and runs `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        // User attributes (including the conventional `#[test]`, plus
+        // e.g. `#[ignore]`) are re-emitted verbatim, as real proptest
+        // does; the macro adds none of its own.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    stringify!($name),
+                    u64::from(case),
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                        )*
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with a
+/// message instead of unwinding mid-sample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when its inputs don't satisfy a
+/// precondition. (Real proptest resamples; this stand-in just skips.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed_option($strat),)+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name(outer)(arg in strategy, ...) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)
+            ($($arg:ident in $strat:expr),* $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($arg,)*)| $body,
+            )
+        }
+    };
+}

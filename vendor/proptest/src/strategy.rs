@@ -1,0 +1,255 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// is just a sampler over a deterministic RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every sampled value through `map_fn`.
+    fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            strategy: self,
+            map_fn,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map_fn: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.map_fn)(self.strategy.sample(rng))
+    }
+}
+
+/// Type-erased strategy returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+
+    /// Boxing helper used by `prop_oneof!` so the macro body stays a
+    /// plain expression.
+    pub fn boxed_option<S>(strategy: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    // `$u` is the unsigned type of the same width: the span must pass
+    // through it before widening to u64, or a signed span that
+    // overflows `$t` (e.g. -100i8..100) sign-extends and corrupts the
+    // bound.
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident . $index:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+/// String strategies from a regex subset, mirroring proptest's
+/// `impl Strategy for &str`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let (a, b, c) = (0u8..4, -10i64..10, 0.5f64..2.0).sample(&mut rng);
+            assert!(a < 4);
+            assert!((-10..10).contains(&b));
+            assert!((0.5..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn narrow_signed_spans_do_not_sign_extend() {
+        let mut rng = rng();
+        for _ in 0..2000 {
+            let v = (-100i8..100).sample(&mut rng);
+            assert!((-100..100).contains(&v), "v = {v}");
+            let w = (-2_000_000_000i32..2_000_000_000).sample(&mut rng);
+            assert!((-2_000_000_000..2_000_000_000).contains(&w), "w = {w}");
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut rng = rng();
+        let s = Union::new(vec![
+            Union::boxed_option(Just(1u32)),
+            Union::boxed_option((10u32..20).prop_map(|v| v * 2)),
+        ]);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn boxed_strategy_samples() {
+        let mut rng = rng();
+        let s = (0u8..3).boxed();
+        assert!(s.sample(&mut rng) < 3);
+    }
+}

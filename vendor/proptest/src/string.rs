@@ -1,0 +1,204 @@
+//! String generation from a small regex subset, backing
+//! `impl Strategy for &str`.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII),
+//! `[...]`character classes of literals and `a-z` ranges, the escapes
+//! `\d` `\w` `\s` `\\` (and escaped metacharacters), and the
+//! quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` (unbounded repeats cap at
+//! 8). Anything else panics with a clear message — extend the parser
+//! when a test needs more, rather than silently mis-sampling.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters, sampled uniformly.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Samples a string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        let Atom::Class(choices) = &piece.atom;
+        for _ in 0..count {
+            let index = rng.below(choices.len() as u64) as usize;
+            out.push(choices[index]);
+        }
+    }
+    out
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+fn escape_class(pattern: &str, c: char) -> Vec<char> {
+    match c {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        '\\' | '.' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$'
+        | '-' => vec![c],
+        other => panic!("regex stub: unsupported escape `\\{other}` in {pattern:?}"),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("regex stub: unterminated `[` in {pattern:?}"));
+                let mut choices = Vec::new();
+                let mut j = i + 1;
+                if j < close && chars[j] == '^' {
+                    panic!("regex stub: negated classes unsupported in {pattern:?}");
+                }
+                while j < close {
+                    if chars[j] == '\\' && j + 1 < close {
+                        choices.extend(escape_class(pattern, chars[j + 1]));
+                        j += 2;
+                    } else if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "regex stub: bad class range in {pattern:?}");
+                        choices.extend((lo..=hi).filter(|c| char::from_u32(*c as u32).is_some()));
+                        j += 3;
+                    } else {
+                        choices.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(
+                    !choices.is_empty(),
+                    "regex stub: empty class in {pattern:?}"
+                );
+                i = close + 1;
+                Atom::Class(choices)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(printable_ascii())
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "regex stub: trailing `\\` in {pattern:?}"
+                );
+                let class = escape_class(pattern, chars[i + 1]);
+                i += 2;
+                Atom::Class(class)
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!(
+                    "regex stub: unsupported metacharacter `{}` in {pattern:?}",
+                    chars[i]
+                )
+            }
+            literal => {
+                i += 1;
+                Atom::Class(vec![literal])
+            }
+        };
+
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("regex stub: unterminated `{{` in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().unwrap_or_else(|_| {
+                                panic!("regex stub: bad repeat `{body}` in {pattern:?}")
+                            });
+                            let hi = hi.trim().parse().unwrap_or_else(|_| {
+                                panic!("regex stub: bad repeat `{body}` in {pattern:?}")
+                            });
+                            assert!(lo <= hi, "regex stub: bad repeat `{body}` in {pattern:?}");
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().unwrap_or_else(|_| {
+                                panic!("regex stub: bad repeat `{body}` in {pattern:?}")
+                            });
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests", 1)
+    }
+
+    #[test]
+    fn printable_class_with_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_classes_and_quantifiers() {
+        let mut rng = rng();
+        let s = sample_regex("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+
+        let t = sample_regex(r"x\d?", &mut rng);
+        assert!(t == "x" || (t.len() == 2 && t.as_bytes()[1].is_ascii_digit()));
+    }
+}

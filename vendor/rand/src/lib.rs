@@ -1,0 +1,283 @@
+//! Offline stand-in for `rand` covering the surface this workspace uses:
+//! `rand::rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension methods `gen::<f64>()` and `gen_range(..)` over integer and
+//! float ranges.
+//!
+//! `SmallRng` is a real xoshiro256++ (the algorithm behind rand 0.8's
+//! `SmallRng` on 64-bit targets) seeded through SplitMix64, so the
+//! statistical quality matches what the workload generator and simulator
+//! were written against. Streams are *not* bit-identical to crates.io
+//! `rand`; everything in-tree treats seeds as opaque, so only
+//! self-consistency across runs matters, and that holds.
+
+mod small;
+
+pub mod rngs {
+    pub use crate::small::SmallRng;
+
+    /// Alias so code written against `StdRng` also compiles.
+    pub type StdRng = SmallRng;
+}
+
+/// Low-level source of randomness; the object-safe core trait.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`] (including `&mut R`), as in real rand.
+pub trait Rng: RngCore {
+    /// A sample from the "standard" distribution: `[0, 1)` for floats,
+    /// full range for integers, fair coin for `bool`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics on an empty range, as real rand does.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range types accepted by [`Rng::gen_range`].
+///
+/// Mirrors real rand's shape — one generic impl per range type over
+/// `T: SampleUniform` — so type inference can flow from `gen_range`'s
+/// result back into unsuffixed range literals.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable from a range.
+pub trait SampleUniform: Sized {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform `0..span` without modulo bias (Lemire's multiply-shift with a
+/// rejection pass on the low word).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        if wide as u64 >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    // `$u` is the unsigned type of the same width: the span must pass
+    // through it before widening to u64, or a signed span that
+    // overflows `$t` (e.g. -100i8..100) sign-extends and corrupts the
+    // bound.
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                lo + <$t as Standard>::sample_standard(rng) * (hi - lo)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + <$t as Standard>::sample_standard(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range_and_mixing() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_hit_bounds_only() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+            let v = rng.gen_range(2u64..=10);
+            assert!((2..=10).contains(&v));
+            let s = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&s));
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn narrow_signed_spans_do_not_sign_extend() {
+        // -100i8..100 has span 200, which overflows i8; the span must
+        // widen through u8, not sign-extend through i8.
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&v), "v = {v}");
+            let w = rng.gen_range(-30_000i16..=30_000);
+            assert!((-30_000..=30_000).contains(&w), "w = {w}");
+            let x = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn draw<R: Rng>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = draw(&mut rng);
+        let r = &mut rng;
+        let _ = draw(r);
+    }
+}

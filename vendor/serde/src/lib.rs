@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two trait names the workspace imports and re-exports the
+//! no-op derives under the same names, mirroring real serde's `derive`
+//! feature. No serializer runs in-tree, so the traits carry no methods;
+//! see `vendor/serde_derive` for the swap-back story.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

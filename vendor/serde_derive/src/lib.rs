@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public config
+//! and result types but never serializes through them today (no
+//! `serde_json`/`bincode` consumer exists in-tree), so these derives
+//! expand to nothing. They accept and ignore `#[serde(...)]` attributes
+//! so annotated types keep compiling. Swapping in the real crates.io
+//! `serde`/`serde_derive` requires no source changes — only repointing
+//! the `[workspace.dependencies]` entries.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
