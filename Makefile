@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt lint bench clean
+.PHONY: ci build test fmt lint bench doc examples bench-track clean
 
-ci: build test fmt lint bench
+ci: build test fmt lint bench doc examples bench-track
 
 build:
 	$(CARGO) build --release --workspace --all-targets
@@ -21,6 +21,20 @@ lint:
 
 bench:
 	$(CARGO) bench --no-run --workspace
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+examples:
+	set -e; for ex in examples/*.rs; do \
+		name=$$(basename $$ex .rs); \
+		echo "== example $$name =="; \
+		$(CARGO) run --release --example $$name >/dev/null; \
+	done
+
+bench-track:
+	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --out BENCH_sweep.json
+	python3 ci/check_bench.py ci/bench_baseline.json BENCH_sweep.json
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate a sweep benchmark artifact against the committed baseline.
+
+Usage: check_bench.py BASELINE CURRENT [THRESHOLD]
+
+Both files are `repro sweep` artifacts (or, for the baseline, a stub
+with just `normalized_cost`). The compared figure is `normalized_cost`:
+sweep wall time divided by an in-process CPU calibration loop measured
+on the same machine, so the ratio is comparable across runner
+generations. The gate fails when the current cost exceeds the baseline
+by more than THRESHOLD (default 1.25, i.e. a >25% regression).
+
+To re-baseline after an intentional change:
+    make bench-track   # writes BENCH_sweep.json
+    python3 -c "import json; print(json.dumps({'normalized_cost': \
+json.load(open('BENCH_sweep.json'))['normalized_cost']}))" \
+        > ci/bench_baseline.json
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+
+    base = baseline["normalized_cost"]
+    cur = current["normalized_cost"]
+    ratio = cur / base
+    print(f"baseline normalized_cost: {base:.4f}")
+    print(f"current  normalized_cost: {cur:.4f}")
+    print(f"ratio: {ratio:.3f} (gate: {threshold:.2f})")
+    if ratio > threshold:
+        print(
+            f"FAIL: sweep wall time regressed {100 * (ratio - 1):.0f}% "
+            f"over the committed baseline (limit {100 * (threshold - 1):.0f}%)"
+        )
+        print(
+            "If this commit did not touch the hot path, the runner's "
+            "sweep/calibration ratio may have shifted (new CPU "
+            "generation): re-baseline from this job's uploaded "
+            "BENCH_sweep.json artifact using the recipe in this "
+            "script's docstring."
+        )
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+//! Sweep-engine bench: wall cost of the tiny CI matrix, end to end
+//! (generate → simulate → analyze → policy replay per cell), serial vs
+//! pooled workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmig_core::{run_sweep, SweepConfig};
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for workers in [1usize, 0] {
+        // A two-shard matrix so the pooled variant has fan-out to use.
+        let mut config = SweepConfig::tiny();
+        config.scales = vec![0.002, 0.003];
+        config.workers = workers;
+        let label = if workers == 0 { "auto" } else { "serial" };
+        group.bench_function(BenchmarkId::new("tiny2", label), |b| {
+            b.iter(|| run_sweep(&config).shards.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

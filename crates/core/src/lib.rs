@@ -14,7 +14,10 @@
 //!
 //! [`Study`] runs the pipeline; [`experiments`] maps each paper artefact
 //! (`table1`..`table4`, `fig3`..`fig12`, `policies`, `dedup`, ...) to a
-//! regenerated report with paper-vs-measured comparisons.
+//! regenerated report with paper-vs-measured comparisons. [`sweep`]
+//! declares a scenario matrix (policy × preset × scale × cache size) and
+//! [`runner`] executes it on a deterministic worker pool, streaming each
+//! cell end to end instead of materializing its trace.
 //!
 //! # Examples
 //!
@@ -27,10 +30,16 @@
 //! ```
 
 pub mod experiments;
+pub mod runner;
 pub mod study;
+pub mod sweep;
 
 pub use experiments::{experiment_ids, run_experiment, ExperimentResult};
+pub use runner::run_sweep;
 pub use study::{Study, StudyConfig, StudyOutput};
+pub use sweep::{
+    CellResult, PaperDelta, PolicyId, PresetId, ShardReport, SweepConfig, SweepReport, Winner,
+};
 
 pub use fmig_analysis as analysis;
 pub use fmig_migrate as migrate;

@@ -1,0 +1,272 @@
+//! The deterministic parallel sweep runner.
+//!
+//! [`run_sweep`] expands a [`SweepConfig`] into trace shards (one per
+//! preset × scale coordinate), executes them on a `std::thread::scope`
+//! worker pool, and assembles the [`SweepReport`]. Workers pull shard
+//! indices from an atomic counter — classic self-scheduling fan-out, the
+//! same shape the `ptexec` family used for parallel Unix commands — and
+//! write results into the shard's own slot, so scheduling order never
+//! leaks into the report.
+//!
+//! A shard is executed as a single streaming pass: the generated
+//! workload's owning record stream feeds the device simulator, whose
+//! sink feeds both the incremental [`Analyzer`] and the policy-replay
+//! preparation ([`TracePrep`]) record by record. The full annotated
+//! `Vec<TraceRecord>` that [`crate::Study::run`] keeps for the
+//! experiment registry is never materialized here, which is what makes
+//! wide matrices affordable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fmig_analysis::Analyzer;
+use fmig_migrate::eval::{EvalConfig, TracePrep};
+use fmig_sim::{MssSimulator, SimConfig};
+use fmig_trace::Direction;
+use fmig_workload::{PaperTargets, Workload};
+
+use crate::sweep::{CellResult, PaperDelta, ShardReport, SweepConfig, SweepReport};
+
+/// Expands the matrix and runs every cell; see the module docs.
+///
+/// The report is a pure function of `config`: any worker count (including
+/// the serial `workers = 1`) yields byte-identical
+/// [`SweepReport::to_json`] output.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty on any axis.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    assert!(
+        !config.policies.is_empty()
+            && !config.presets.is_empty()
+            && !config.scales.is_empty()
+            && !config.cache_fractions.is_empty(),
+        "sweep matrix must be non-empty on every axis"
+    );
+    let shards: Vec<(usize, usize)> = (0..config.presets.len())
+        .flat_map(|p| (0..config.scales.len()).map(move |s| (p, s)))
+        .collect();
+    let workers = effective_workers(config.workers, shards.len());
+    let results: Mutex<Vec<Option<ShardReport>>> = Mutex::new(vec![None; shards.len()]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= shards.len() {
+                    break;
+                }
+                let (preset_idx, scale_idx) = shards[i];
+                let shard = run_shard(config, preset_idx, scale_idx);
+                results.lock().expect("no panicked worker")[i] = Some(shard);
+            });
+        }
+    });
+    let shards = results
+        .into_inner()
+        .expect("no panicked worker")
+        .into_iter()
+        .map(|s| s.expect("every shard produces a report"))
+        .collect();
+    let mut report = SweepReport {
+        base_seed: config.base_seed,
+        simulated_devices: config.simulate_devices,
+        shards,
+        winners: Vec::new(),
+    };
+    report.compute_winners();
+    report
+}
+
+/// Resolves the worker-count knob: 0 means one per available CPU, and no
+/// pool is ever wider than the shard list.
+fn effective_workers(requested: usize, shards: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, shards.max(1))
+}
+
+/// Generates, simulates, analyzes, and policy-evaluates one shard.
+fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> ShardReport {
+    let preset = config.presets[preset_idx];
+    let scale = config.scales[scale_idx];
+    let workload_seed = config.workload_seed(preset_idx, scale_idx);
+    let sim_seed = config.sim_seed(preset_idx, scale_idx);
+
+    let workload = Workload::generate(&preset.workload(scale, workload_seed));
+    let files = workload.files().len() as u64;
+    let referenced_bytes: u64 = workload.files().iter().map(|f| f.size).sum();
+
+    // One streaming pass: simulator → (analysis, policy prep).
+    let mut analysis = Analyzer::new();
+    let mut prep = TracePrep::new();
+    let records = if config.simulate_devices {
+        let sim = MssSimulator::new(SimConfig::default().with_seed(sim_seed));
+        let metrics = sim.run_streaming(workload.into_records(), |rec| {
+            analysis.observe(&rec);
+            prep.observe(&rec);
+        });
+        metrics.requests
+    } else {
+        let mut n = 0u64;
+        for rec in workload.into_records() {
+            analysis.observe(&rec);
+            prep.observe(&rec);
+            n += 1;
+        }
+        n
+    };
+
+    let prepared = prep.finish();
+    let mut cells = Vec::with_capacity(config.cache_fractions.len() * config.policies.len());
+    for &fraction in &config.cache_fractions {
+        let capacity_bytes = ((referenced_bytes as f64 * fraction) as u64).max(1);
+        let eval_config = EvalConfig::with_capacity(capacity_bytes);
+        for policy in &config.policies {
+            let outcome = prepared.replay(policy.build().as_ref(), &eval_config);
+            cells.push(CellResult {
+                policy: *policy,
+                cache_fraction: fraction,
+                capacity_bytes,
+                miss_ratio: outcome.miss_ratio,
+                byte_miss_ratio: outcome.byte_miss_ratio,
+                person_minutes_per_day: outcome.person_minutes_per_day,
+            });
+        }
+    }
+
+    // Published-vs-measured rows only make sense where the generator
+    // runs its NCAR calibration; the other presets twist those very
+    // knobs on purpose, so deltas there would read as fidelity failures.
+    let paper_deltas = if preset == crate::sweep::PresetId::Ncar {
+        let targets = PaperTargets::ncar();
+        let delta = |metric: &str, paper: f64, measured: f64| PaperDelta {
+            metric: metric.to_string(),
+            paper,
+            measured,
+        };
+        vec![
+            delta(
+                "read_share",
+                targets.read_share(),
+                analysis.stats.read_reference_share(),
+            ),
+            delta(
+                "error_fraction",
+                targets.error_fraction(),
+                analysis.stats.error_fraction(),
+            ),
+            delta(
+                "files_never_read",
+                targets.files_never_read,
+                analysis.files.never_read(),
+            ),
+            delta(
+                "files_accessed_once",
+                targets.files_accessed_once,
+                analysis.files.accessed_once(),
+            ),
+            delta(
+                "requests_within_8h",
+                targets.requests_within_8h_of_same_file,
+                analysis.files.repeat_within_8h_fraction(),
+            ),
+            delta(
+                "file_gap_under_1d",
+                targets.file_gap_under_1d,
+                analysis.files.intervals_under_1d(),
+            ),
+        ]
+    } else {
+        Vec::new()
+    };
+
+    ShardReport {
+        preset,
+        scale,
+        workload_seed,
+        sim_seed,
+        records,
+        files,
+        referenced_gb: referenced_bytes as f64 / 1e9,
+        read_share: analysis.stats.read_reference_share(),
+        mean_read_latency_s: analysis.latency.direction_mean(Direction::Read),
+        mean_write_latency_s: analysis.latency.direction_mean(Direction::Write),
+        paper_deltas,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::PolicyId;
+
+    #[test]
+    fn tiny_sweep_produces_the_full_matrix() {
+        let report = run_sweep(&SweepConfig::tiny());
+        assert_eq!(report.shards.len(), 1);
+        let shard = &report.shards[0];
+        assert_eq!(shard.cells.len(), 3);
+        assert!(shard.records > 0);
+        assert!(shard.files > 0);
+        assert!(
+            shard.mean_read_latency_s > 0.0,
+            "simulation annotated reads"
+        );
+        assert_eq!(report.winners.len(), 1);
+        // Belady bounds every practical policy on the shared trace.
+        let belady = shard
+            .cells
+            .iter()
+            .find(|c| c.policy == PolicyId::Belady)
+            .expect("belady cell");
+        for cell in &shard.cells {
+            assert!(
+                belady.miss_ratio <= cell.miss_ratio + 1e-12,
+                "Belady beaten by {}",
+                cell.policy.name()
+            );
+        }
+        assert_ne!(report.winners[0].practical, Some(PolicyId::Belady));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        // At least two shards, or the pool clamps both runs to one
+        // worker and the comparison proves nothing.
+        let mut serial = SweepConfig::tiny();
+        serial.scales = vec![0.002, 0.003];
+        serial.simulate_devices = false;
+        let mut parallel = serial.clone();
+        serial.workers = 1;
+        parallel.workers = 4;
+        assert!(serial.shard_count() >= 2);
+        assert_eq!(run_sweep(&serial), run_sweep(&parallel));
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(1, 8), 1);
+        assert_eq!(effective_workers(100, 3), 3);
+        assert!(effective_workers(0, 8) >= 1);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn shards_get_distinct_rng_streams() {
+        // Two shards of one sweep must not replay the same trace: the
+        // derived seeds differ, so the generated populations differ.
+        let mut cfg = SweepConfig::tiny();
+        cfg.scales = vec![0.002, 0.002];
+        cfg.simulate_devices = false;
+        let report = run_sweep(&cfg);
+        assert_eq!(report.shards.len(), 2);
+        assert_ne!(
+            report.shards[0].workload_seed,
+            report.shards[1].workload_seed
+        );
+        assert_ne!(report.shards[0].records, report.shards[1].records);
+    }
+}

@@ -83,16 +83,31 @@ impl Study {
     }
 
     /// Runs the full pipeline.
+    ///
+    /// The analysis pass is fed record by record from the simulator's
+    /// streaming sink, so analysis never requires a second sweep over the
+    /// trace; the records themselves are kept because [`StudyOutput`]
+    /// exposes them to the experiment registry. Sweep cells, which only
+    /// need the aggregates, skip this type entirely and stream records
+    /// straight into their accumulators (see [`crate::sweep`]).
     pub fn run(&self) -> StudyOutput {
         let workload = Workload::generate(&self.config.workload);
-        let (records, sim_metrics) = if self.config.simulate_devices {
+        let mut analysis = Analyzer::new();
+        let mut records = Vec::with_capacity(workload.len());
+        let sim_metrics = if self.config.simulate_devices {
             let sim = MssSimulator::new(self.config.sim.clone());
-            let run = sim.run(workload.records());
-            (run.records, Some(run.metrics))
+            let metrics = sim.run_streaming(workload.records(), |rec| {
+                analysis.observe(&rec);
+                records.push(rec);
+            });
+            Some(metrics)
         } else {
-            (workload.records().collect(), None)
+            for rec in workload.records() {
+                analysis.observe(&rec);
+                records.push(rec);
+            }
+            None
         };
-        let analysis = Analyzer::analyze(records.iter());
         StudyOutput {
             config: self.config.clone(),
             workload,

@@ -1,0 +1,709 @@
+//! Scenario-sweep definitions: the matrix, its cells, and the report.
+//!
+//! The paper's contribution is comparative — a migration policy is only
+//! good or bad *against* the alternatives, on a workload, at a scale,
+//! under a cache budget. [`SweepConfig`] declares that comparison as a
+//! matrix (policy × workload preset × scale × cache size); the runner
+//! (see [`crate::runner`]) expands it into independent cells, executes
+//! them on a deterministic worker pool, and folds the results into a
+//! [`SweepReport`] with per-shard paper deltas and per-group winner
+//! tables.
+//!
+//! # Determinism
+//!
+//! Every randomized stage of a cell derives its seed from the sweep's
+//! `base_seed` and the cell's *coordinates* (never from scheduling
+//! order), so a sweep produces byte-identical reports at any worker
+//! count. Cells that share a (preset, scale) coordinate deliberately
+//! share one generated trace — policies must be judged on the same
+//! request stream — while distinct coordinates get distinct RNG streams
+//! for both the generator and the device simulator (threaded through
+//! [`WorkloadConfig::seed`] and [`fmig_sim::SimConfig::with_seed`]).
+
+use fmig_migrate::policy::{
+    Belady, Fifo, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac, SmallestFirst, Stp,
+};
+use fmig_workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+
+/// A migration policy the sweep can instantiate, identified by a stable
+/// name that survives JSON round-trips and CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyId {
+    /// Smith's space-time product, exponent 1.4 (his best).
+    Stp14,
+    /// Space-time product, exponent 1.0 (pure size × age).
+    Stp10,
+    /// Space-time product, exponent 2.0 (age-heavy).
+    Stp20,
+    /// Least recently used.
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Largest file first (Lawrie's "length" criterion).
+    LargestFirst,
+    /// Smallest file first.
+    SmallestFirst,
+    /// Lawrie's space-age-activity criterion.
+    Saac,
+    /// Salted random eviction (baseline).
+    Random,
+    /// Belady's clairvoyant bound.
+    Belady,
+}
+
+impl PolicyId {
+    /// Every policy, in report order.
+    pub const ALL: [PolicyId; 10] = [
+        PolicyId::Stp14,
+        PolicyId::Stp10,
+        PolicyId::Stp20,
+        PolicyId::Lru,
+        PolicyId::Fifo,
+        PolicyId::LargestFirst,
+        PolicyId::SmallestFirst,
+        PolicyId::Saac,
+        PolicyId::Random,
+        PolicyId::Belady,
+    ];
+
+    /// The stable identifier used in JSON reports and on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyId::Stp14 => "stp1.4",
+            PolicyId::Stp10 => "stp1.0",
+            PolicyId::Stp20 => "stp2.0",
+            PolicyId::Lru => "lru",
+            PolicyId::Fifo => "fifo",
+            PolicyId::LargestFirst => "largest",
+            PolicyId::SmallestFirst => "smallest",
+            PolicyId::Saac => "saac",
+            PolicyId::Random => "random",
+            PolicyId::Belady => "belady",
+        }
+    }
+
+    /// Parses a stable identifier back to the policy.
+    pub fn parse(s: &str) -> Option<PolicyId> {
+        PolicyId::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn MigrationPolicy> {
+        match self {
+            PolicyId::Stp14 => Box::new(Stp::classic()),
+            PolicyId::Stp10 => Box::new(Stp { exponent: 1.0 }),
+            PolicyId::Stp20 => Box::new(Stp { exponent: 2.0 }),
+            PolicyId::Lru => Box::new(Lru),
+            PolicyId::Fifo => Box::new(Fifo),
+            PolicyId::LargestFirst => Box::new(LargestFirst),
+            PolicyId::SmallestFirst => Box::new(SmallestFirst),
+            PolicyId::Saac => Box::new(Saac),
+            PolicyId::Random => Box::new(RandomEvict { salt: 0xA5A5 }),
+            PolicyId::Belady => Box::new(Belady),
+        }
+    }
+}
+
+/// A named workload shape: the NCAR calibration with a documented twist.
+///
+/// Presets vary the generator knobs that change migration *behaviour*
+/// (re-read intensity, creation-write share, archive coldness); `scale`
+/// stays a separate matrix axis so any preset can run from smoke-test to
+/// full-trace volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PresetId {
+    /// The paper's calibrated defaults.
+    Ncar,
+    /// Re-read heavy: higher echo probability and steeper read growth —
+    /// the workload migration likes best.
+    ReadHot,
+    /// Write dominated: most datasets are created inside the window and
+    /// echoes are rare, stressing write-behind and placement.
+    WriteHeavy,
+    /// Archive dominated: most datasets predate the window and residency
+    /// clocks are short, stressing shelf restaging.
+    Archival,
+}
+
+impl PresetId {
+    /// Every preset, in report order.
+    pub const ALL: [PresetId; 4] = [
+        PresetId::Ncar,
+        PresetId::ReadHot,
+        PresetId::WriteHeavy,
+        PresetId::Archival,
+    ];
+
+    /// The stable identifier used in JSON reports and on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PresetId::Ncar => "ncar",
+            PresetId::ReadHot => "read-hot",
+            PresetId::WriteHeavy => "write-heavy",
+            PresetId::Archival => "archival",
+        }
+    }
+
+    /// Parses a stable identifier back to the preset.
+    pub fn parse(s: &str) -> Option<PresetId> {
+        PresetId::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The generator configuration for this preset at a scale and seed.
+    pub fn workload(&self, scale: f64, seed: u64) -> WorkloadConfig {
+        let base = WorkloadConfig {
+            scale,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        match self {
+            PresetId::Ncar => base,
+            PresetId::ReadHot => WorkloadConfig {
+                echo_probability: 0.40,
+                read_growth: 3.0,
+                ..base
+            },
+            PresetId::WriteHeavy => WorkloadConfig {
+                pre_trace_fraction: 0.08,
+                echo_probability: 0.12,
+                ..base
+            },
+            PresetId::Archival => WorkloadConfig {
+                pre_trace_fraction: 0.55,
+                disk_residency_days: 30.0,
+                silo_residency_days: 45.0,
+                ..base
+            },
+        }
+    }
+}
+
+/// The scenario matrix: every combination of the four axes is one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Policies to compare (axis 1).
+    pub policies: Vec<PolicyId>,
+    /// Workload presets (axis 2).
+    pub presets: Vec<PresetId>,
+    /// Workload scales (axis 3).
+    pub scales: Vec<f64>,
+    /// Staging-disk capacities as fractions of each cell's referenced
+    /// bytes (axis 4). The paper's predecessors operated near 0.015.
+    pub cache_fractions: Vec<f64>,
+    /// Root seed; per-shard generator and simulator seeds derive from it.
+    pub base_seed: u64,
+    /// Run the device simulation per shard (adds latency aggregates).
+    pub simulate_devices: bool,
+    /// Worker threads; 0 means one per available CPU, capped at the
+    /// shard count. Any value produces the identical report.
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// The smoke-test matrix CI benchmarks: three policies on the NCAR
+    /// preset at a tiny scale, one cache point — 3 cells, 1 shard.
+    pub fn tiny() -> Self {
+        SweepConfig {
+            policies: vec![PolicyId::Stp14, PolicyId::Lru, PolicyId::Belady],
+            presets: vec![PresetId::Ncar],
+            scales: vec![0.002],
+            cache_fractions: vec![0.015],
+            base_seed: 0x5357_4545, // "SWEE"
+            simulate_devices: true,
+            workers: 0,
+        }
+    }
+
+    /// A comparative matrix that still runs in seconds: five policies ×
+    /// two presets × two scales × two cache sizes — 40 cells, 4 shards.
+    pub fn small() -> Self {
+        SweepConfig {
+            policies: vec![
+                PolicyId::Stp14,
+                PolicyId::Lru,
+                PolicyId::Fifo,
+                PolicyId::Saac,
+                PolicyId::Belady,
+            ],
+            presets: vec![PresetId::Ncar, PresetId::ReadHot],
+            scales: vec![0.002, 0.004],
+            cache_fractions: vec![0.005, 0.015],
+            base_seed: 0x5357_4545,
+            simulate_devices: true,
+            workers: 0,
+        }
+    }
+
+    /// Number of scenario cells the matrix expands to.
+    pub fn cell_count(&self) -> usize {
+        self.policies.len() * self.presets.len() * self.scales.len() * self.cache_fractions.len()
+    }
+
+    /// Number of trace shards (distinct preset × scale coordinates); each
+    /// shard generates and simulates one trace shared by its cells.
+    pub fn shard_count(&self) -> usize {
+        self.presets.len() * self.scales.len()
+    }
+
+    /// The generator seed for shard `(preset_idx, scale_idx)`.
+    ///
+    /// Derived from coordinates, not from execution order, so any worker
+    /// can run any shard and the stream is still the cell's own.
+    pub fn workload_seed(&self, preset_idx: usize, scale_idx: usize) -> u64 {
+        mix(
+            mix(mix(self.base_seed, 0x574B_4C44), preset_idx as u64),
+            scale_idx as u64,
+        )
+    }
+
+    /// The simulator seed for shard `(preset_idx, scale_idx)`; distinct
+    /// from the generator seed so the two stages never share a stream.
+    pub fn sim_seed(&self, preset_idx: usize, scale_idx: usize) -> u64 {
+        mix(self.workload_seed(preset_idx, scale_idx), 0x5349_4D21)
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// splitmix64: the seed-derivation mixer (weak inputs, well-spread
+/// outputs, no allocation).
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One paper-figure delta: the published value against this shard's
+/// measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperDelta {
+    /// Which published number.
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// This shard's measured value.
+    pub measured: f64,
+}
+
+impl PaperDelta {
+    /// Measured minus paper.
+    pub fn delta(&self) -> f64 {
+        self.measured - self.paper
+    }
+}
+
+/// One cell's outcome: a policy under a cache budget on a shard's trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The policy evaluated.
+    pub policy: PolicyId,
+    /// The cache axis value (fraction of referenced bytes).
+    pub cache_fraction: f64,
+    /// The resolved staging-disk capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Read miss ratio by references.
+    pub miss_ratio: f64,
+    /// Read miss ratio by bytes.
+    pub byte_miss_ratio: f64,
+    /// §2.3 person-minutes lost per day.
+    pub person_minutes_per_day: f64,
+}
+
+/// Everything measured on one trace shard (a preset × scale coordinate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Workload preset.
+    pub preset: PresetId,
+    /// Workload scale.
+    pub scale: f64,
+    /// Seed the generator ran with.
+    pub workload_seed: u64,
+    /// Seed the device simulator ran with.
+    pub sim_seed: u64,
+    /// Trace records generated (including errors).
+    pub records: u64,
+    /// Files in the generated population.
+    pub files: u64,
+    /// Bytes referenced by the population, in GB.
+    pub referenced_gb: f64,
+    /// Read share of successful references.
+    pub read_share: f64,
+    /// Mean simulated read startup latency in seconds (0 when the device
+    /// simulation is off).
+    pub mean_read_latency_s: f64,
+    /// Mean simulated write startup latency in seconds.
+    pub mean_write_latency_s: f64,
+    /// Published-vs-measured rows for the shape claims the sweep tracks.
+    /// Populated only for the NCAR-calibrated preset; the other presets
+    /// deviate from the paper's knobs by design, so a delta there would
+    /// be noise dressed up as a fidelity check.
+    pub paper_deltas: Vec<PaperDelta>,
+    /// One result per (policy, cache fraction) cell, in matrix order
+    /// (cache-fraction major, then policy).
+    pub cells: Vec<CellResult>,
+}
+
+/// The winning policy of one (preset, scale, cache) group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Winner {
+    /// Workload preset.
+    pub preset: PresetId,
+    /// Workload scale.
+    pub scale: f64,
+    /// Cache fraction.
+    pub cache_fraction: f64,
+    /// Best policy by read miss ratio.
+    pub by_miss_ratio: PolicyId,
+    /// Best policy by person-minutes per day.
+    pub by_person_minutes: PolicyId,
+    /// Best *practical* policy by miss ratio (Belady excluded), when the
+    /// group contains a practical policy.
+    pub practical: Option<PolicyId>,
+}
+
+/// The comparative output of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Root seed the sweep derived every cell seed from.
+    pub base_seed: u64,
+    /// Whether shards ran the device simulation.
+    pub simulated_devices: bool,
+    /// One report per trace shard, in matrix order (preset major).
+    pub shards: Vec<ShardReport>,
+    /// One winner row per (preset, scale, cache) group.
+    pub winners: Vec<Winner>,
+}
+
+impl SweepReport {
+    /// Fills the winner table from the shard cells. Ties go to the first
+    /// policy in the shard's cell order, which is the matrix order —
+    /// deterministic by construction.
+    pub(crate) fn compute_winners(&mut self) {
+        self.winners.clear();
+        for shard in &self.shards {
+            let mut fractions: Vec<f64> = Vec::new();
+            for cell in &shard.cells {
+                if !fractions.contains(&cell.cache_fraction) {
+                    fractions.push(cell.cache_fraction);
+                }
+            }
+            for frac in fractions {
+                let group: Vec<&CellResult> = shard
+                    .cells
+                    .iter()
+                    .filter(|c| c.cache_fraction == frac)
+                    .collect();
+                let best = |key: fn(&CellResult) -> f64| {
+                    group
+                        .iter()
+                        .fold(None::<&&CellResult>, |acc, c| match acc {
+                            Some(a) if key(a) <= key(c) => Some(a),
+                            _ => Some(c),
+                        })
+                        .expect("non-empty winner group")
+                        .policy
+                };
+                let practical = group
+                    .iter()
+                    .filter(|c| c.policy != PolicyId::Belady)
+                    .fold(None::<&&CellResult>, |acc, c| match acc {
+                        Some(a) if a.miss_ratio <= c.miss_ratio => Some(a),
+                        _ => Some(c),
+                    })
+                    .map(|c| c.policy);
+                self.winners.push(Winner {
+                    preset: shard.preset,
+                    scale: shard.scale,
+                    cache_fraction: frac,
+                    by_miss_ratio: best(|c| c.miss_ratio),
+                    by_person_minutes: best(|c| c.person_minutes_per_day),
+                    practical,
+                });
+            }
+        }
+    }
+
+    /// Serializes the report as deterministic JSON: fixed key order,
+    /// shortest-round-trip float formatting, no timing or host data. Two
+    /// runs of the same matrix — at any worker count — produce identical
+    /// bytes, which is what the CI artifact diff and the determinism test
+    /// key on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"base_seed\": ");
+        out.push_str(&self.base_seed.to_string());
+        out.push_str(",\n  \"simulated_devices\": ");
+        out.push_str(if self.simulated_devices {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\n  \"shards\": [");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            shard_json(&mut out, shard);
+        }
+        out.push_str("\n  ],\n  \"winners\": [");
+        for (i, w) in self.winners.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"preset\": ");
+            json_str(&mut out, w.preset.name());
+            out.push_str(", \"scale\": ");
+            json_f64(&mut out, w.scale);
+            out.push_str(", \"cache_fraction\": ");
+            json_f64(&mut out, w.cache_fraction);
+            out.push_str(", \"by_miss_ratio\": ");
+            json_str(&mut out, w.by_miss_ratio.name());
+            out.push_str(", \"by_person_minutes\": ");
+            json_str(&mut out, w.by_person_minutes.name());
+            out.push_str(", \"practical\": ");
+            match w.practical {
+                Some(p) => json_str(&mut out, p.name()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the winner table and per-shard summaries as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for shard in &self.shards {
+            out.push_str(&format!(
+                "shard {}/{:<6} {} records, {} files, {:.2} GB referenced, read share {:.1}%\n",
+                shard.preset.name(),
+                shard.scale,
+                shard.records,
+                shard.files,
+                shard.referenced_gb,
+                shard.read_share * 100.0,
+            ));
+            for delta in &shard.paper_deltas {
+                out.push_str(&format!(
+                    "  paper {:<28} {:>8.3} measured {:>8.3}\n",
+                    delta.metric, delta.paper, delta.measured
+                ));
+            }
+            for cell in &shard.cells {
+                out.push_str(&format!(
+                    "  cache {:>5.2}% {:<9} miss {:>6.2}% byte-miss {:>6.2}% person-min/day {:>10.1}\n",
+                    cell.cache_fraction * 100.0,
+                    cell.policy.name(),
+                    cell.miss_ratio * 100.0,
+                    cell.byte_miss_ratio * 100.0,
+                    cell.person_minutes_per_day,
+                ));
+            }
+        }
+        out.push_str("winners:\n");
+        for w in &self.winners {
+            out.push_str(&format!(
+                "  {}/{} @ cache {:.2}%: miss-ratio {} | person-minutes {} | practical {}\n",
+                w.preset.name(),
+                w.scale,
+                w.cache_fraction * 100.0,
+                w.by_miss_ratio.name(),
+                w.by_person_minutes.name(),
+                w.practical.map_or("-", |p| p.name()),
+            ));
+        }
+        out
+    }
+}
+
+fn shard_json(out: &mut String, s: &ShardReport) {
+    out.push_str("{\"preset\": ");
+    json_str(out, s.preset.name());
+    out.push_str(", \"scale\": ");
+    json_f64(out, s.scale);
+    out.push_str(", \"workload_seed\": ");
+    out.push_str(&s.workload_seed.to_string());
+    out.push_str(", \"sim_seed\": ");
+    out.push_str(&s.sim_seed.to_string());
+    out.push_str(", \"records\": ");
+    out.push_str(&s.records.to_string());
+    out.push_str(", \"files\": ");
+    out.push_str(&s.files.to_string());
+    out.push_str(", \"referenced_gb\": ");
+    json_f64(out, s.referenced_gb);
+    out.push_str(", \"read_share\": ");
+    json_f64(out, s.read_share);
+    out.push_str(", \"mean_read_latency_s\": ");
+    json_f64(out, s.mean_read_latency_s);
+    out.push_str(", \"mean_write_latency_s\": ");
+    json_f64(out, s.mean_write_latency_s);
+    out.push_str(", \"paper_deltas\": [");
+    for (i, d) in s.paper_deltas.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"metric\": ");
+        json_str(out, &d.metric);
+        out.push_str(", \"paper\": ");
+        json_f64(out, d.paper);
+        out.push_str(", \"measured\": ");
+        json_f64(out, d.measured);
+        out.push('}');
+    }
+    out.push_str("], \"cells\": [");
+    for (i, c) in s.cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"policy\": ");
+        json_str(out, c.policy.name());
+        out.push_str(", \"cache_fraction\": ");
+        json_f64(out, c.cache_fraction);
+        out.push_str(", \"capacity_bytes\": ");
+        out.push_str(&c.capacity_bytes.to_string());
+        out.push_str(", \"miss_ratio\": ");
+        json_f64(out, c.miss_ratio);
+        out.push_str(", \"byte_miss_ratio\": ");
+        json_f64(out, c.byte_miss_ratio);
+        out.push_str(", \"person_minutes_per_day\": ");
+        json_f64(out, c.person_minutes_per_day);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Writes a JSON string literal (the report only carries ASCII
+/// identifiers, but escape defensively).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an f64 with Rust's shortest-round-trip formatting — stable for
+/// identical bits, which deterministic cells guarantee. Non-finite values
+/// (which no metric should produce) become `null` rather than invalid
+/// JSON.
+fn json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_ids_round_trip() {
+        for p in PolicyId::ALL {
+            assert_eq!(PolicyId::parse(p.name()), Some(p));
+            // The instantiated policy self-describes consistently.
+            assert!(!p.build().name().is_empty());
+        }
+        assert_eq!(PolicyId::parse("nope"), None);
+    }
+
+    #[test]
+    fn preset_ids_round_trip() {
+        for p in PresetId::ALL {
+            assert_eq!(PresetId::parse(p.name()), Some(p));
+            let cfg = p.workload(0.01, 7);
+            assert_eq!(cfg.scale, 0.01);
+            assert_eq!(cfg.seed, 7);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_coordinate_and_stage() {
+        let cfg = SweepConfig::small();
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..cfg.presets.len() {
+            for s in 0..cfg.scales.len() {
+                assert!(seen.insert(cfg.workload_seed(p, s)), "workload seed reused");
+                assert!(seen.insert(cfg.sim_seed(p, s)), "sim seed reused");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_counts() {
+        let cfg = SweepConfig::small();
+        assert_eq!(cfg.cell_count(), 5 * 2 * 2 * 2);
+        assert_eq!(cfg.shard_count(), 4);
+        assert_eq!(SweepConfig::tiny().cell_count(), 3);
+        assert_eq!(SweepConfig::tiny().shard_count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_floats() {
+        let mut s = String::new();
+        json_str(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000a\"");
+        let mut f = String::new();
+        json_f64(&mut f, 0.015);
+        assert_eq!(f, "0.015");
+        let mut nan = String::new();
+        json_f64(&mut nan, f64::NAN);
+        assert_eq!(nan, "null");
+    }
+
+    #[test]
+    fn winners_pick_the_minimum_and_exclude_belady_from_practical() {
+        let cell = |policy, miss: f64, pm: f64| CellResult {
+            policy,
+            cache_fraction: 0.01,
+            capacity_bytes: 1,
+            miss_ratio: miss,
+            byte_miss_ratio: miss,
+            person_minutes_per_day: pm,
+        };
+        let mut report = SweepReport {
+            base_seed: 0,
+            simulated_devices: false,
+            shards: vec![ShardReport {
+                preset: PresetId::Ncar,
+                scale: 0.002,
+                workload_seed: 0,
+                sim_seed: 0,
+                records: 0,
+                files: 0,
+                referenced_gb: 0.0,
+                read_share: 0.0,
+                mean_read_latency_s: 0.0,
+                mean_write_latency_s: 0.0,
+                paper_deltas: vec![],
+                cells: vec![
+                    cell(PolicyId::Belady, 0.10, 5.0),
+                    cell(PolicyId::Lru, 0.30, 1.0),
+                    cell(PolicyId::Stp14, 0.20, 2.0),
+                ],
+            }],
+            winners: vec![],
+        };
+        report.compute_winners();
+        assert_eq!(report.winners.len(), 1);
+        let w = &report.winners[0];
+        assert_eq!(w.by_miss_ratio, PolicyId::Belady);
+        assert_eq!(w.by_person_minutes, PolicyId::Lru);
+        assert_eq!(w.practical, Some(PolicyId::Stp14));
+    }
+}

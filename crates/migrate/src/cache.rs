@@ -251,7 +251,17 @@ impl<'p> DiskCache<'p> {
                 (self.policy.priority(&view, now), id)
             })
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("priorities must not be NaN"));
+        // Total order: priority descending, then id ascending. The id
+        // tie-break matters — `entries` is a HashMap, whose iteration
+        // order is randomized per instance, and policies produce tied
+        // priorities routinely (LRU under equal timestamps, Belady's
+        // never-used-again class). Without it, two replays of the same
+        // trace evict different files and miss ratios wobble.
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("priorities must not be NaN")
+                .then(a.1.cmp(&b.1))
+        });
         for (_, id) in ranked {
             if self.usage <= low {
                 break;
@@ -409,6 +419,25 @@ mod tests {
         let stp = run(&Stp::classic());
         let sf = run(&SmallestFirst);
         assert!(stp < sf, "STP {stp} should beat smallest-first {sf}");
+    }
+
+    #[test]
+    fn tied_priorities_evict_deterministically() {
+        // All files written at the same instant: LRU priorities all tie,
+        // so eviction must fall back to the id order, not HashMap order.
+        let run = || {
+            let lru = Lru;
+            let mut c = DiskCache::new(cfg(1000), &lru);
+            for i in 0..10 {
+                c.write(i, 100, 42, None);
+            }
+            let mut survivors: Vec<u64> = (0..10).filter(|&i| c.contains(i)).collect();
+            survivors.sort_unstable();
+            survivors
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.is_empty());
     }
 
     #[test]

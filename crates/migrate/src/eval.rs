@@ -65,18 +65,40 @@ struct PreparedRef {
     next_use: Option<i64>,
 }
 
-/// Pre-processes a trace for replay: interns paths to ids and computes
-/// next-use times (the Belady oracle).
-fn prepare(records: &[TraceRecord]) -> Vec<PreparedRef> {
-    let mut ids: HashMap<&str, u64> = HashMap::new();
-    let mut prepared: Vec<PreparedRef> = Vec::with_capacity(records.len());
-    for rec in records {
+/// Incremental trace preparation: feed records one at a time (straight
+/// off a generator or the simulator's streaming sink, no `Vec` of
+/// records needed), then [`TracePrep::finish`] into a [`PreparedTrace`].
+///
+/// Paths are interned to dense ids as they arrive; the Belady next-use
+/// oracle is a reverse sweep, so it runs once at `finish`. The per-record
+/// state kept here is a 40-byte `Copy` struct plus one owned path string
+/// per *unique* file — far lighter than the records themselves.
+#[derive(Debug, Default)]
+pub struct TracePrep {
+    ids: HashMap<String, u64>,
+    refs: Vec<PreparedRef>,
+}
+
+impl TracePrep {
+    /// Creates an empty preparation pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one record; errored references are skipped, as in §6.
+    pub fn observe(&mut self, rec: &TraceRecord) {
         if rec.error.is_some() {
-            continue;
+            return;
         }
-        let next_id = ids.len() as u64;
-        let id = *ids.entry(rec.mss_path.as_str()).or_insert(next_id);
-        prepared.push(PreparedRef {
+        let id = match self.ids.get(rec.mss_path.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = self.ids.len() as u64;
+                self.ids.insert(rec.mss_path.clone(), id);
+                id
+            }
+        };
+        self.refs.push(PreparedRef {
             id,
             size: rec.file_size.max(1),
             write: rec.direction() == Direction::Write,
@@ -84,13 +106,122 @@ fn prepare(records: &[TraceRecord]) -> Vec<PreparedRef> {
             next_use: None,
         });
     }
-    // Reverse sweep: next occurrence of each id.
-    let mut next_seen: HashMap<u64, i64> = HashMap::new();
-    for r in prepared.iter_mut().rev() {
-        r.next_use = next_seen.get(&r.id).copied();
-        next_seen.insert(r.id, r.time);
+
+    /// Runs the reverse next-use sweep and seals the trace for replay.
+    pub fn finish(self) -> PreparedTrace {
+        let mut refs = self.refs;
+        let mut next_seen: HashMap<u64, i64> = HashMap::new();
+        for r in refs.iter_mut().rev() {
+            r.next_use = next_seen.get(&r.id).copied();
+            next_seen.insert(r.id, r.time);
+        }
+        PreparedTrace { refs }
     }
-    prepared
+}
+
+/// A trace ready for policy replay; see [`TracePrep`].
+#[derive(Debug, Clone)]
+pub struct PreparedTrace {
+    refs: Vec<PreparedRef>,
+}
+
+impl PreparedTrace {
+    /// Number of successful references prepared.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True if no successful reference was observed.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Replays one policy over the trace.
+    pub fn replay(&self, policy: &dyn MigrationPolicy, config: &EvalConfig) -> PolicyOutcome {
+        let stats = replay(&self.refs, policy, config);
+        PolicyOutcome {
+            name: policy.name(),
+            stats,
+            miss_ratio: stats.miss_ratio(),
+            byte_miss_ratio: stats.byte_miss_ratio(),
+            person_minutes_per_day: stats
+                .person_minutes_per_day(config.wait_s_per_miss, config.trace_days),
+        }
+    }
+
+    /// Replays every policy sequentially, in input order.
+    ///
+    /// Sweep cells use this: the sweep runner already parallelizes at
+    /// the trace-shard level (all of a shard's policy × cache cells
+    /// replay on that shard's worker), so nesting a thread per policy
+    /// underneath would only oversubscribe the pool once a matrix has
+    /// several shards.
+    pub fn evaluate(
+        &self,
+        policies: &[Box<dyn MigrationPolicy>],
+        config: &EvalConfig,
+    ) -> Vec<PolicyOutcome> {
+        policies
+            .iter()
+            .map(|p| self.replay(p.as_ref(), config))
+            .collect()
+    }
+
+    /// Replays every policy on a worker thread per policy; outcomes come
+    /// back in the input policy order.
+    pub fn evaluate_parallel(
+        &self,
+        policies: &[Box<dyn MigrationPolicy>],
+        config: &EvalConfig,
+    ) -> Vec<PolicyOutcome> {
+        let results: Mutex<Vec<Option<PolicyOutcome>>> = Mutex::new(vec![None; policies.len()]);
+        std::thread::scope(|scope| {
+            for (i, policy) in policies.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move || {
+                    let outcome = self.replay(policy.as_ref(), config);
+                    results.lock()[i] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("every policy produces an outcome"))
+            .collect()
+    }
+
+    /// Sweeps cache capacity for one policy, for miss-ratio-vs-size
+    /// curves.
+    pub fn capacity_sweep(
+        &self,
+        policy: &dyn MigrationPolicy,
+        capacities: &[u64],
+        base: &EvalConfig,
+    ) -> Vec<(u64, f64)> {
+        capacities
+            .iter()
+            .map(|&cap| {
+                let cfg = EvalConfig {
+                    cache: CacheConfig {
+                        capacity: cap,
+                        ..base.cache
+                    },
+                    ..*base
+                };
+                (cap, replay(&self.refs, policy, &cfg).miss_ratio())
+            })
+            .collect()
+    }
+}
+
+/// Pre-processes a borrowed trace for replay.
+pub fn prepare<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> PreparedTrace {
+    let mut prep = TracePrep::new();
+    for rec in records {
+        prep.observe(rec);
+    }
+    prep.finish()
 }
 
 fn replay(
@@ -116,31 +247,7 @@ pub fn evaluate_policies(
     policies: &[Box<dyn MigrationPolicy>],
     config: &EvalConfig,
 ) -> Vec<PolicyOutcome> {
-    let prepared = prepare(records);
-    let results: Mutex<Vec<Option<PolicyOutcome>>> = Mutex::new(vec![None; policies.len()]);
-    std::thread::scope(|scope| {
-        for (i, policy) in policies.iter().enumerate() {
-            let prepared = &prepared;
-            let results = &results;
-            scope.spawn(move || {
-                let stats = replay(prepared, policy.as_ref(), config);
-                let outcome = PolicyOutcome {
-                    name: policy.name(),
-                    stats,
-                    miss_ratio: stats.miss_ratio(),
-                    byte_miss_ratio: stats.byte_miss_ratio(),
-                    person_minutes_per_day: stats
-                        .person_minutes_per_day(config.wait_s_per_miss, config.trace_days),
-                };
-                results.lock()[i] = Some(outcome);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every policy produces an outcome"))
-        .collect()
+    prepare(records).evaluate_parallel(policies, config)
 }
 
 /// Sweeps cache capacity for one policy, for miss-ratio-vs-size curves.
@@ -150,20 +257,7 @@ pub fn capacity_sweep(
     capacities: &[u64],
     base: &EvalConfig,
 ) -> Vec<(u64, f64)> {
-    let prepared = prepare(records);
-    capacities
-        .iter()
-        .map(|&cap| {
-            let cfg = EvalConfig {
-                cache: CacheConfig {
-                    capacity: cap,
-                    ..base.cache
-                },
-                ..*base
-            };
-            (cap, replay(&prepared, policy, &cfg).miss_ratio())
-        })
-        .collect()
+    prepare(records).capacity_sweep(policy, capacities, base)
 }
 
 #[cfg(test)]
@@ -250,6 +344,20 @@ mod tests {
         let full = sweep.last().unwrap().1;
         let cold = 6.0 / (6.0 * 60.0) + 60.0 / (60.0 * 7.0) * 0.0; // loose sanity bound
         assert!(full <= 0.2, "full-cache miss ratio {full} (cold ~{cold})");
+    }
+
+    #[test]
+    fn streamed_prep_matches_batch_evaluation() {
+        let trace = skewed_trace();
+        let suite = standard_suite();
+        let config = EvalConfig::with_capacity(5_000_000);
+        let batch = evaluate_policies(&trace, &suite, &config);
+        let mut prep = TracePrep::new();
+        for rec in &trace {
+            prep.observe(rec);
+        }
+        let streamed = prep.finish().evaluate(&suite, &config);
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod writeback;
 pub use cache::{CacheConfig, CacheStats, DiskCache};
 pub use dedup::DedupReport;
 pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
-pub use eval::{evaluate_policies, EvalConfig, PolicyOutcome};
+pub use eval::{evaluate_policies, EvalConfig, PolicyOutcome, PreparedTrace, TracePrep};
 pub use policy::{
     standard_suite, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac,
     SmallestFirst, Stp,

@@ -106,6 +106,19 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// The same hardware with a different RNG seed for mount/seek/service
+    /// noise.
+    ///
+    /// [`crate::MssSimulator::run`] takes `&self` and re-seeds its engine
+    /// from `self.seed` on every call, so two runs of one simulator are
+    /// identical by design. Anything executing *multiple* configurations
+    /// — a sweep cell per scenario, for instance — must thread a distinct
+    /// seed through each cell's `SimConfig` or every cell silently shares
+    /// one RNG stream.
+    pub fn with_seed(self, seed: u64) -> Self {
+        SimConfig { seed, ..self }
+    }
+
     /// Hardware scaled down with a workload's `scale` so per-resource
     /// utilisation — and therefore queueing shape — stays comparable to
     /// the full-size system when replaying a scaled trace.

@@ -20,6 +20,8 @@
 //! The simulator annotates every record with its achieved startup latency
 //! and transfer time and aggregates Figure 3 latency histograms.
 
+use std::collections::VecDeque;
+
 use fmig_trace::{DeviceClass, Direction, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -62,7 +64,32 @@ impl MssSimulator {
     ///
     /// Panics if records are not sorted by start time.
     pub fn run(&self, records: impl IntoIterator<Item = TraceRecord>) -> SimRun {
-        Engine::new(&self.config).run(records.into_iter().collect())
+        let mut out = Vec::new();
+        let metrics = self.run_streaming(records, |rec| out.push(rec));
+        SimRun {
+            records: out,
+            metrics,
+        }
+    }
+
+    /// Runs the simulation as a pipeline stage: every record is handed to
+    /// `sink` in arrival order as soon as its startup latency is known,
+    /// so the caller never holds the full annotated trace in memory.
+    ///
+    /// `run` is this with a `Vec::push` sink; sweep cells instead feed an
+    /// incremental analysis accumulator. Only the in-flight window of
+    /// records is buffered (requests whose first byte the simulation has
+    /// not reached yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if records are not sorted by start time.
+    pub fn run_streaming(
+        &self,
+        records: impl IntoIterator<Item = TraceRecord>,
+        sink: impl FnMut(TraceRecord),
+    ) -> Metrics {
+        Engine::new(&self.config).run(records, sink)
     }
 }
 
@@ -97,6 +124,13 @@ struct Engine<'a> {
     rng: SmallRng,
     queue: EventQueue<Ev>,
     reqs: Vec<Req>,
+    /// Whether each request's startup latency is final (its first byte
+    /// has been reached, or it errored at the MSCP).
+    done: Vec<bool>,
+    /// Records awaiting emission; front is request `next_emit`.
+    pending: VecDeque<TraceRecord>,
+    /// Next request index to hand to the sink.
+    next_emit: usize,
     spindles: Vec<Pool>,
     silo: Pool,
     manual: Pool,
@@ -119,6 +153,9 @@ impl<'a> Engine<'a> {
             rng: SmallRng::seed_from_u64(cfg.seed),
             queue: EventQueue::new(),
             reqs: Vec::new(),
+            done: Vec::new(),
+            pending: VecDeque::new(),
+            next_emit: 0,
             spindles: vec![Pool::new(1); cfg.disk_spindles.max(1)],
             silo: Pool::new(cfg.silo_drives),
             manual: Pool::new(cfg.manual_drives),
@@ -133,9 +170,13 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self, mut records: Vec<TraceRecord>) -> SimRun {
+    fn run(
+        mut self,
+        records: impl IntoIterator<Item = TraceRecord>,
+        mut sink: impl FnMut(TraceRecord),
+    ) -> Metrics {
         let mut prev_ms = SimMs::MIN;
-        for (idx, rec) in records.iter().enumerate() {
+        for rec in records {
             let t_ms = rec.start.as_unix() * MS;
             assert!(t_ms >= prev_ms, "records must be sorted by start time");
             prev_ms = t_ms;
@@ -145,25 +186,19 @@ impl<'a> Engine<'a> {
                 let (now, ev) = self.queue.pop().expect("peeked event");
                 self.handle(now, ev);
             }
-            self.arrive(idx, rec, t_ms);
+            let idx = self.reqs.len();
+            self.arrive(idx, &rec, t_ms);
+            self.done.push(false);
+            self.pending.push_back(rec);
+            self.emit_finished(&mut sink);
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.handle(now, ev);
         }
+        self.emit_finished(&mut sink);
+        debug_assert_eq!(self.next_emit, self.reqs.len());
 
-        // Annotate the input records from the simulated request states.
-        for (rec, req) in records.iter_mut().zip(self.reqs.iter()) {
-            let latency_ms = (req.first_byte_ms - req.arrival_ms).max(0);
-            rec.startup_latency_s = (latency_ms / MS) as u32;
-            if rec.is_ok() {
-                let rate = self.rate_of(req.device);
-                rec.transfer_ms = (req.size as f64 / rate * 1000.0) as u64;
-            } else {
-                rec.transfer_ms = 0;
-            }
-        }
-
-        self.metrics.requests = records.len() as u64;
+        self.metrics.requests = self.reqs.len() as u64;
         let span = (self.first_ms, self.last_ms.max(self.first_ms));
         self.metrics.utilisation.disk_spindles = self
             .spindles
@@ -177,9 +212,25 @@ impl<'a> Engine<'a> {
         self.metrics.utilisation.movers =
             self.movers.utilisation(span.0, span.1) + self.tape_movers.utilisation(span.0, span.1);
 
-        SimRun {
-            records,
-            metrics: self.metrics,
+        self.metrics
+    }
+
+    /// Annotates and emits every record whose latency is final, in
+    /// arrival order.
+    fn emit_finished(&mut self, sink: &mut impl FnMut(TraceRecord)) {
+        while self.next_emit < self.done.len() && self.done[self.next_emit] {
+            let mut rec = self.pending.pop_front().expect("pending record");
+            let req = &self.reqs[self.next_emit];
+            let latency_ms = (req.first_byte_ms - req.arrival_ms).max(0);
+            rec.startup_latency_s = (latency_ms / MS) as u32;
+            if rec.is_ok() {
+                let rate = self.rate_of(req.device);
+                rec.transfer_ms = (req.size as f64 / rate * 1000.0) as u64;
+            } else {
+                rec.transfer_ms = 0;
+            }
+            sink(rec);
+            self.next_emit += 1;
         }
     }
 
@@ -225,8 +276,8 @@ impl<'a> Engine<'a> {
             Ev::TransferDone(r) => self.transfer_done(r, now),
             Ev::DriveFree(r) => self.drive_free(r, now),
             Ev::ErrorDone(r) => {
-                let req = &mut self.reqs[r];
-                req.first_byte_ms = now;
+                self.reqs[r].first_byte_ms = now;
+                self.done[r] = true;
             }
         }
     }
@@ -375,6 +426,10 @@ impl<'a> Engine<'a> {
         };
         let first_byte = now + setup_ms;
         self.reqs[r].first_byte_ms = first_byte;
+        // The request's startup latency is now final; transfer time is a
+        // pure function of size and device, so the record can be emitted
+        // even though its transfer is still in flight.
+        self.done[r] = true;
         self.metrics
             .record_latency(dir, device, (first_byte - arrival) as f64 / MS as f64);
         let rate = self.rate_of(device);

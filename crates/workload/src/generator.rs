@@ -282,11 +282,7 @@ impl Workload {
     ///
     /// Panics if `file` is out of range.
     pub fn file_path(&self, file: u32) -> String {
-        let meta = &self.files[file as usize];
-        format!(
-            "{}/f{:04}",
-            self.dir_paths[meta.dir as usize], meta.name_seq
-        )
+        file_path_of(&self.files, &self.dir_paths, file)
     }
 
     /// Streams the workload as trace records, in time order.
@@ -294,32 +290,84 @@ impl Workload {
         self.events
             .iter()
             .enumerate()
-            .map(move |(i, ev)| self.render(i, ev))
+            .map(move |(i, ev)| render_event(&self.files, &self.dir_paths, i, ev))
     }
 
-    fn render(&self, seq: usize, ev: &RawEvent) -> TraceRecord {
-        let start = Timestamp::from_unix(ev.time);
-        if ev.err != 0 {
-            let mut rec = TraceRecord::read(
-                Endpoint::MssDisk,
-                start,
-                0,
-                format!("/scratch/lost+{seq:07}"),
-                ev.uid,
-            );
-            rec.error = ErrorKind::from_code(ev.err);
-            return rec;
+    /// Consumes the workload into an owning record stream.
+    ///
+    /// Renders exactly what [`Workload::records`] renders, but without a
+    /// live borrow: a sweep cell can hand the stream to the simulator or
+    /// the analysis pass and let the per-record [`TraceRecord`]s (path
+    /// strings included) be built and dropped one at a time instead of
+    /// materializing the full annotated `Vec<TraceRecord>`.
+    pub fn into_records(self) -> RecordStream {
+        RecordStream {
+            files: self.files,
+            dir_paths: self.dir_paths,
+            events: self.events.into_iter(),
+            seq: 0,
         }
-        let meta = &self.files[ev.file as usize];
-        let device = ev.device_class().endpoint();
-        let path = self.file_path(ev.file);
-        let mut rec = match ev.kind {
-            EventKind::Read => TraceRecord::read(device, start, meta.size, path, ev.uid),
-            EventKind::Write => TraceRecord::write(device, start, meta.size, path, ev.uid),
-        };
-        rec.transfer_ms = transfer_ms(meta.size, ev.device_class(), ev.file, ev.time);
-        rec
     }
+}
+
+/// Owning time-ordered record stream; see [`Workload::into_records`].
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    files: Vec<FileMeta>,
+    dir_paths: Vec<String>,
+    events: std::vec::IntoIter<RawEvent>,
+    seq: usize,
+}
+
+impl Iterator for RecordStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let ev = self.events.next()?;
+        let rec = render_event(&self.files, &self.dir_paths, self.seq, &ev);
+        self.seq += 1;
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.events.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RecordStream {}
+
+fn file_path_of(files: &[FileMeta], dir_paths: &[String], file: u32) -> String {
+    let meta = &files[file as usize];
+    format!("{}/f{:04}", dir_paths[meta.dir as usize], meta.name_seq)
+}
+
+fn render_event(
+    files: &[FileMeta],
+    dir_paths: &[String],
+    seq: usize,
+    ev: &RawEvent,
+) -> TraceRecord {
+    let start = Timestamp::from_unix(ev.time);
+    if ev.err != 0 {
+        let mut rec = TraceRecord::read(
+            Endpoint::MssDisk,
+            start,
+            0,
+            format!("/scratch/lost+{seq:07}"),
+            ev.uid,
+        );
+        rec.error = ErrorKind::from_code(ev.err);
+        return rec;
+    }
+    let meta = &files[ev.file as usize];
+    let device = ev.device_class().endpoint();
+    let path = file_path_of(files, dir_paths, ev.file);
+    let mut rec = match ev.kind {
+        EventKind::Read => TraceRecord::read(device, start, meta.size, path, ev.uid),
+        EventKind::Write => TraceRecord::write(device, start, meta.size, path, ev.uid),
+    };
+    rec.transfer_ms = transfer_ms(meta.size, ev.device_class(), ev.file, ev.time);
+    rec
 }
 
 /// Nominal transfer time: ~2–2.5 MB/s depending on device (§5.1.1: "both
@@ -774,6 +822,17 @@ mod tests {
                 assert!(rec.error.is_some());
             }
         }
+    }
+
+    #[test]
+    fn owning_stream_matches_borrowed_records() {
+        let w = small_workload();
+        let borrowed: Vec<TraceRecord> = w.records().collect();
+        let mut stream = w.clone().into_records();
+        assert_eq!(stream.len(), w.len());
+        let owned: Vec<TraceRecord> = stream.by_ref().collect();
+        assert_eq!(borrowed, owned);
+        assert_eq!(stream.len(), 0);
     }
 
     #[test]

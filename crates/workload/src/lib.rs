@@ -41,7 +41,7 @@ pub mod population;
 pub mod preset;
 pub mod rate;
 
-pub use generator::{EventKind, FileMeta, RawEvent, Workload};
+pub use generator::{EventKind, FileMeta, RawEvent, RecordStream, Workload};
 pub use namespace::Namespace;
 pub use population::{ClassSample, FileSpec, SizeModel};
 pub use preset::{PaperTargets, WorkloadConfig};
