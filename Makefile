@@ -33,7 +33,7 @@ examples:
 	done
 
 bench-track:
-	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --out BENCH_sweep.json
+	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --latency --out BENCH_sweep.json
 	python3 ci/check_bench.py ci/bench_baseline.json BENCH_sweep.json
 
 clean:

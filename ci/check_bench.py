@@ -4,21 +4,26 @@
 Usage: check_bench.py BASELINE CURRENT [THRESHOLD]
 
 Both files are `repro sweep` artifacts (or, for the baseline, a stub
-with just `normalized_cost`). The compared figure is `normalized_cost`:
-sweep wall time divided by an in-process CPU calibration loop measured
-on the same machine, so the ratio is comparable across runner
-generations. The gate fails when the current cost exceeds the baseline
-by more than THRESHOLD (default 1.25, i.e. a >25% regression).
+with just the cost keys). The compared figures are `normalized_cost`
+(the open-loop matrix) and, when both files carry it,
+`latency_normalized_cost` (the closed-loop hierarchy-engine matrix from
+`repro sweep --latency`): sweep wall time divided by an in-process CPU
+calibration loop measured on the same machine, so the ratios are
+comparable across runner generations. The gate fails when any compared
+cost exceeds its baseline by more than THRESHOLD (default 1.25, i.e. a
+>25% regression).
 
 To re-baseline after an intentional change:
     make bench-track   # writes BENCH_sweep.json
-    python3 -c "import json; print(json.dumps({'normalized_cost': \
-json.load(open('BENCH_sweep.json'))['normalized_cost']}))" \
-        > ci/bench_baseline.json
+    python3 -c "import json; a = json.load(open('BENCH_sweep.json')); \
+print(json.dumps({k: a[k] for k in ('normalized_cost', \
+'latency_normalized_cost') if k in a}))" > ci/bench_baseline.json
 """
 
 import json
 import sys
+
+GATED_KEYS = ("normalized_cost", "latency_normalized_cost")
 
 
 def main() -> int:
@@ -31,17 +36,34 @@ def main() -> int:
         current = json.load(f)
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
 
-    base = baseline["normalized_cost"]
-    cur = current["normalized_cost"]
-    ratio = cur / base
-    print(f"baseline normalized_cost: {base:.4f}")
-    print(f"current  normalized_cost: {cur:.4f}")
-    print(f"ratio: {ratio:.3f} (gate: {threshold:.2f})")
-    if ratio > threshold:
-        print(
-            f"FAIL: sweep wall time regressed {100 * (ratio - 1):.0f}% "
-            f"over the committed baseline (limit {100 * (threshold - 1):.0f}%)"
-        )
+    failed = False
+    compared = 0
+    for key in GATED_KEYS:
+        if key not in baseline:
+            continue
+        if key not in current:
+            # A baselined score the artifact no longer reports means the
+            # gate silently lost coverage — treat it as a failure.
+            print(f"FAIL: baseline has {key} but the artifact does not")
+            failed = True
+            continue
+        compared += 1
+        base = baseline[key]
+        cur = current[key]
+        ratio = cur / base
+        print(f"baseline {key}: {base:.4f}")
+        print(f"current  {key}: {cur:.4f}")
+        print(f"ratio: {ratio:.3f} (gate: {threshold:.2f})")
+        if ratio > threshold:
+            failed = True
+            print(
+                f"FAIL: {key} regressed {100 * (ratio - 1):.0f}% "
+                f"over the committed baseline (limit {100 * (threshold - 1):.0f}%)"
+            )
+    if compared == 0:
+        print("FAIL: no cost key present in both baseline and artifact")
+        return 1
+    if failed:
         print(
             "If this commit did not touch the hot path, the runner's "
             "sweep/calibration ratio may have shifted (new CPU "

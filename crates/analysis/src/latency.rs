@@ -4,12 +4,15 @@
 //! Works on any trace whose `startup_latency_s` fields are populated —
 //! either real measurements or the output of `fmig-sim`. Keeping this
 //! analysis independent of the simulator lets it run on externally
-//! collected traces too.
+//! collected traces too. Closed-loop policy runs feed measured waits in
+//! directly through [`LatencyAnalysis::observe_wait`] and compare
+//! policies side by side with [`PolicyLatencyReport`].
 
 use fmig_trace::{DeviceClass, Direction, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::hist::{LogHistogram, Welford};
+use crate::report::TextTable;
 
 /// Per (direction × device) latency distributions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,10 +52,16 @@ impl LatencyAnalysis {
         if rec.error.is_some() {
             return;
         }
-        let cell = &mut self.cells[dir_index(rec.direction())][dev_index(device)];
-        let l = rec.startup_latency_s as f64;
-        cell.hist.record_count(l.max(0.5));
-        cell.moments.push(l);
+        self.observe_wait(rec.direction(), device, rec.startup_latency_s as f64);
+    }
+
+    /// Feeds one first-byte wait directly — the closed-loop hierarchy
+    /// engine's per-reference outcomes carry waits without a
+    /// [`TraceRecord`] to wrap them in.
+    pub fn observe_wait(&mut self, dir: Direction, device: DeviceClass, wait_s: f64) {
+        let cell = &mut self.cells[dir_index(dir)][dev_index(device)];
+        cell.hist.record_count(wait_s.max(0.5));
+        cell.moments.push(wait_s);
     }
 
     /// Mean seconds to first byte for a cell (a Table 3 row).
@@ -117,6 +126,85 @@ impl LatencyAnalysis {
         let mut h = self.cells[0][dev_index(device)].hist.clone();
         h.merge(&self.cells[1][dev_index(device)].hist);
         h.cdf_points().into_iter().map(|(e, f, _)| (e, f)).collect()
+    }
+
+    /// Approximate `p`-quantile of one direction's waits across all
+    /// devices (e.g. the p99 first-byte read wait).
+    pub fn direction_quantile(&self, dir: Direction, p: f64) -> f64 {
+        let cells = &self.cells[dir_index(dir)];
+        let mut h = cells[0].hist.clone();
+        h.merge(&cells[1].hist);
+        h.merge(&cells[2].hist);
+        if h.count() == 0 {
+            return 0.0;
+        }
+        h.quantile(p)
+    }
+
+    /// Observations in one direction across all devices.
+    pub fn direction_count(&self, dir: Direction) -> u64 {
+        self.cells[dir_index(dir)]
+            .iter()
+            .map(|c| c.moments.count())
+            .sum()
+    }
+}
+
+/// Per-policy latency cells: one [`LatencyAnalysis`] per migration
+/// policy, fed by closed-loop runs, rendered as a comparison table of
+/// simulated first-byte waits (the latency-true counterpart of the
+/// miss-ratio winner tables).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyLatencyReport {
+    cells: Vec<(String, LatencyAnalysis)>,
+}
+
+impl PolicyLatencyReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a policy's cell and returns its analysis for feeding.
+    pub fn cell(&mut self, policy: impl Into<String>) -> &mut LatencyAnalysis {
+        self.cells.push((policy.into(), LatencyAnalysis::new()));
+        &mut self.cells.last_mut().expect("just pushed").1
+    }
+
+    /// The policies in insertion order with their analyses.
+    pub fn cells(&self) -> impl Iterator<Item = (&str, &LatencyAnalysis)> {
+        self.cells.iter().map(|(n, a)| (n.as_str(), a))
+    }
+
+    /// Number of policy cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no policy has been added.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Renders mean / median / p99 read waits per policy.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "policy",
+            "reads",
+            "mean read wait (s)",
+            "median (s)",
+            "p99 (s)",
+        ]);
+        for (name, a) in &self.cells {
+            t.row([
+                name.clone(),
+                a.direction_count(Direction::Read).to_string(),
+                format!("{:.1}", a.direction_mean(Direction::Read)),
+                format!("{:.1}", a.direction_quantile(Direction::Read, 0.5)),
+                format!("{:.1}", a.direction_quantile(Direction::Read, 0.99)),
+            ]);
+        }
+        t.render()
     }
 }
 
@@ -210,5 +298,47 @@ mod tests {
         assert_eq!(a.mean(Direction::Read, DeviceClass::Disk), 0.0);
         assert_eq!(a.device_mean(DeviceClass::Disk), 0.0);
         assert_eq!(a.device_fraction_le(DeviceClass::Disk, 100.0), 0.0);
+        assert_eq!(a.direction_quantile(Direction::Read, 0.99), 0.0);
+        assert_eq!(a.direction_count(Direction::Write), 0);
+    }
+
+    #[test]
+    fn observe_wait_matches_record_observation() {
+        let mut by_record = LatencyAnalysis::new();
+        let mut by_wait = LatencyAnalysis::new();
+        for lat in [3, 40, 120] {
+            by_record.observe(&rec(Endpoint::MssTapeSilo, true, lat));
+            by_wait.observe_wait(Direction::Read, DeviceClass::TapeSilo, lat as f64);
+        }
+        assert_eq!(by_record, by_wait);
+        assert_eq!(by_wait.direction_count(Direction::Read), 3);
+        assert!(by_wait.direction_quantile(Direction::Read, 0.99) >= 100.0);
+    }
+
+    #[test]
+    fn policy_latency_report_renders_per_policy_rows() {
+        let mut report = PolicyLatencyReport::new();
+        assert!(report.is_empty());
+        let stp = report.cell("STP(1.4)");
+        for w in [2.0, 4.0, 90.0] {
+            stp.observe_wait(Direction::Read, DeviceClass::TapeSilo, w);
+        }
+        let lru = report.cell("LRU");
+        for w in [5.0, 8.0, 300.0] {
+            lru.observe_wait(Direction::Read, DeviceClass::TapeSilo, w);
+        }
+        assert_eq!(report.len(), 2);
+        let text = report.render();
+        assert!(text.contains("STP(1.4)"));
+        assert!(text.contains("LRU"));
+        assert!(text.contains("p99"));
+        // Cells are independent: STP's mean (32.0) vs LRU's (104.3).
+        let names: Vec<&str> = report.cells().map(|(n, _)| n).collect();
+        assert_eq!(names, ["STP(1.4)", "LRU"]);
+        let means: Vec<f64> = report
+            .cells()
+            .map(|(_, a)| a.direction_mean(Direction::Read))
+            .collect();
+        assert!(means[0] < means[1]);
     }
 }

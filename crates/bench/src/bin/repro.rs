@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--no-sim] <experiment>|all|list
-//! repro sweep [--preset tiny|small] [--workers N] [--seed N] [--out PATH]
+//! repro sweep [--preset tiny|small] [--workers N] [--seed N] [--latency] [--out PATH]
 //! ```
 //!
 //! Experiments: table1..table4, fig3..fig12, topology, policies, dedup,
@@ -66,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     format!(
         "usage: repro [--scale S] [--seed N] [--no-sim] <experiment>|all|list\n\
-         \x20      repro sweep [--preset tiny|small] [--workers N] [--seed N] [--out PATH]\n\
+         \x20      repro sweep [--preset tiny|small] [--workers N] [--seed N] [--latency] [--out PATH]\n\
          experiments: {}\n",
         experiment_ids().join(" ")
     )
@@ -74,10 +74,17 @@ fn usage() -> String {
 
 /// `repro sweep`: run the scenario-sweep engine and emit the benchmark
 /// artifact the `bench-track` CI job uploads and gates on.
+///
+/// With `--latency` the matrix also runs latency-true: every cell goes
+/// through the closed-loop hierarchy engine, the report carries measured
+/// wait distributions, and the artifact gains a second, separately-gated
+/// `latency_normalized_cost` score (the open-loop `normalized_cost`
+/// keeps its meaning so baselines stay comparable).
 fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let mut preset = "tiny".to_string();
     let mut workers = 0usize;
     let mut seed: Option<u64> = None;
+    let mut latency = false;
     let mut out = "BENCH_sweep.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,6 +98,7 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
             }
+            "--latency" => latency = true,
             "--out" => out = it.next().ok_or("--out needs a value")?.clone(),
             other => return Err(format!("unknown sweep flag `{other}`")),
         }
@@ -107,24 +115,38 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
 
     let calibration_ms = calibrate_ms();
     eprintln!(
-        "sweep: preset {preset}, {} cells in {} shards, workers {} (0 = auto), calibration {calibration_ms:.1} ms",
+        "sweep: preset {preset}, {} cells in {} shards, workers {} (0 = auto), latency {}, calibration {calibration_ms:.1} ms",
         config.cell_count(),
         config.shard_count(),
         config.workers,
+        if latency { "on" } else { "off" },
     );
     // Repeat the sweep until a time budget fills and keep the fastest
     // run: a single tiny-matrix execution is milliseconds, far inside
     // scheduler noise, but the minimum over a half-second of repeats is
     // a stable figure the 25% regression gate can trust. (Minimum-taking
     // also discounts the cold first pass, so no separate warm-up run.)
+    // With --latency every iteration times the open-loop and the
+    // closed-loop matrix back to back so both scores come off the same
+    // machine state.
     let mut wall_ms = f64::INFINITY;
+    let mut latency_wall_ms = f64::INFINITY;
     let mut report = None;
     let budget = Instant::now();
     let mut runs = 0u32;
     while runs < 1 || (budget.elapsed().as_secs_f64() < 0.5 && runs < 50) {
         let started = Instant::now();
-        report = Some(run_sweep(&config));
+        let open_report = run_sweep(&config);
         wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        if latency {
+            let mut closed = config.clone();
+            closed.latency = true;
+            let started = Instant::now();
+            report = Some(run_sweep(&closed));
+            latency_wall_ms = latency_wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        } else {
+            report = Some(open_report);
+        }
         runs += 1;
     }
     let report = report.expect("loop runs at least once");
@@ -132,14 +154,28 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     eprintln!(
         "sweep done: best of {runs} runs {wall_ms:.1} ms (normalized cost {normalized_cost:.3})"
     );
+    if latency {
+        eprintln!(
+            "latency sweep: best {latency_wall_ms:.1} ms (normalized cost {:.3})",
+            latency_wall_ms / calibration_ms
+        );
+    }
     eprint!("{}", report.render());
 
     // The report body is deterministic; only the timing envelope varies
     // run to run, which is exactly what the CI baseline compares.
+    let latency_fields = if latency {
+        format!(
+            "  \"latency_wall_ms\": {latency_wall_ms:?},\n  \"latency_normalized_cost\": {:?},\n",
+            latency_wall_ms / calibration_ms
+        )
+    } else {
+        String::new()
+    };
     let json = format!(
         "{{\n  \"preset\": \"{preset}\",\n  \"cells\": {},\n  \"shards\": {},\n  \"runs\": {runs},\n  \
          \"calibration_ms\": {calibration_ms:?},\n  \"wall_ms\": {wall_ms:?},\n  \
-         \"normalized_cost\": {normalized_cost:?},\n  \"report\": {}}}\n",
+         \"normalized_cost\": {normalized_cost:?},\n{latency_fields}  \"report\": {}}}\n",
         config.cell_count(),
         config.shard_count(),
         indent_json(&report.to_json()),

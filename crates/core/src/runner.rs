@@ -21,7 +21,7 @@ use std::sync::Mutex;
 
 use fmig_analysis::Analyzer;
 use fmig_migrate::eval::{EvalConfig, TracePrep};
-use fmig_sim::{MssSimulator, SimConfig};
+use fmig_sim::{HierarchySimulator, MssSimulator, SimConfig};
 use fmig_trace::Direction;
 use fmig_workload::{PaperTargets, Workload};
 
@@ -72,6 +72,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
     let mut report = SweepReport {
         base_seed: config.base_seed,
         simulated_devices: config.simulate_devices,
+        latency_mode: config.latency,
         shards,
         winners: Vec::new(),
     };
@@ -120,11 +121,22 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
 
     let prepared = prep.finish();
     let mut cells = Vec::with_capacity(config.cache_fractions.len() * config.policies.len());
-    for &fraction in &config.cache_fractions {
+    for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
         let capacity_bytes = ((referenced_bytes as f64 * fraction) as u64).max(1);
         let eval_config = EvalConfig::with_capacity(capacity_bytes);
-        for policy in &config.policies {
-            let outcome = prepared.replay(policy.build().as_ref(), &eval_config);
+        for (policy_idx, policy) in config.policies.iter().enumerate() {
+            // Latency mode sends every cell through the closed-loop
+            // hierarchy engine: same cache decisions as open-loop replay
+            // (the engine drives the identical DiskCache call sequence),
+            // plus measured wait distributions and person-minutes
+            // derived from the cell's own mean miss wait.
+            let outcome = if config.latency {
+                let cell_seed = config.cell_sim_seed(preset_idx, scale_idx, cache_idx, policy_idx);
+                let hierarchy = HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
+                hierarchy.evaluate(&prepared, policy.build().as_ref(), &eval_config)
+            } else {
+                prepared.replay(policy.build().as_ref(), &eval_config)
+            };
             cells.push(CellResult {
                 policy: *policy,
                 cache_fraction: fraction,
@@ -132,6 +144,7 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
                 miss_ratio: outcome.miss_ratio,
                 byte_miss_ratio: outcome.byte_miss_ratio,
                 person_minutes_per_day: outcome.person_minutes_per_day,
+                latency: outcome.latency,
             });
         }
     }
@@ -244,6 +257,30 @@ mod tests {
         parallel.workers = 4;
         assert!(serial.shard_count() >= 2);
         assert_eq!(run_sweep(&serial), run_sweep(&parallel));
+    }
+
+    #[test]
+    fn latency_mode_reproduces_open_loop_miss_ratios() {
+        let mut open = SweepConfig::tiny();
+        open.simulate_devices = false;
+        let mut closed = open.clone();
+        closed.latency = true;
+        let a = run_sweep(&open);
+        let b = run_sweep(&closed);
+        assert!(!a.latency_mode && b.latency_mode);
+        for (ca, cb) in a.shards[0].cells.iter().zip(&b.shards[0].cells) {
+            assert_eq!(ca.policy, cb.policy);
+            assert_eq!(ca.miss_ratio, cb.miss_ratio, "{}", ca.policy.name());
+            assert_eq!(ca.byte_miss_ratio, cb.byte_miss_ratio);
+            assert!(ca.latency.is_none());
+            let lat = cb.latency.expect("latency cell");
+            assert!(lat.mean_read_wait_s > 0.0, "device model must be felt");
+            assert!(lat.recalls > 0);
+            // Person-minutes now derive from the measured miss wait.
+            assert_ne!(ca.person_minutes_per_day, cb.person_minutes_per_day);
+        }
+        let w = &b.winners[0];
+        assert!(w.by_mean_wait.is_some() && w.by_p99_wait.is_some());
     }
 
     #[test]

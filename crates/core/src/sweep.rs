@@ -20,6 +20,7 @@
 //! for both the generator and the device simulator (threaded through
 //! [`WorkloadConfig::seed`] and [`fmig_sim::SimConfig::with_seed`]).
 
+use fmig_migrate::eval::LatencyOutcome;
 use fmig_migrate::policy::{
     Belady, Fifo, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac, SmallestFirst, Stp,
 };
@@ -195,6 +196,13 @@ pub struct SweepConfig {
     pub base_seed: u64,
     /// Run the device simulation per shard (adds latency aggregates).
     pub simulate_devices: bool,
+    /// Latency-true (closed-loop) evaluation: every cell replays its
+    /// policy through the hierarchy engine, so cell results carry
+    /// measured first-byte wait distributions and person-minutes derive
+    /// from measured miss waits instead of the open-loop constant. Miss
+    /// ratios are identical to open-loop mode by construction; the cost
+    /// is one device simulation per cell instead of one per shard.
+    pub latency: bool,
     /// Worker threads; 0 means one per available CPU, capped at the
     /// shard count. Any value produces the identical report.
     pub workers: usize,
@@ -211,6 +219,7 @@ impl SweepConfig {
             cache_fractions: vec![0.015],
             base_seed: 0x5357_4545, // "SWEE"
             simulate_devices: true,
+            latency: false,
             workers: 0,
         }
     }
@@ -231,6 +240,7 @@ impl SweepConfig {
             cache_fractions: vec![0.005, 0.015],
             base_seed: 0x5357_4545,
             simulate_devices: true,
+            latency: false,
             workers: 0,
         }
     }
@@ -261,6 +271,28 @@ impl SweepConfig {
     /// from the generator seed so the two stages never share a stream.
     pub fn sim_seed(&self, preset_idx: usize, scale_idx: usize) -> u64 {
         mix(self.workload_seed(preset_idx, scale_idx), 0x5349_4D21)
+    }
+
+    /// The closed-loop hierarchy-engine seed for one latency cell.
+    ///
+    /// Latency mode runs one device simulation per (policy, cache
+    /// fraction) cell, so every cell needs its own stream — derived from
+    /// the cell's *coordinates*, never from scheduling order, like every
+    /// other sweep seed.
+    pub fn cell_sim_seed(
+        &self,
+        preset_idx: usize,
+        scale_idx: usize,
+        cache_idx: usize,
+        policy_idx: usize,
+    ) -> u64 {
+        mix(
+            mix(
+                mix(self.sim_seed(preset_idx, scale_idx), 0x4C41_5443), // "LATC"
+                cache_idx as u64,
+            ),
+            policy_idx as u64,
+        )
     }
 }
 
@@ -312,8 +344,13 @@ pub struct CellResult {
     pub miss_ratio: f64,
     /// Read miss ratio by bytes.
     pub byte_miss_ratio: f64,
-    /// §2.3 person-minutes lost per day.
+    /// §2.3 person-minutes lost per day. In latency mode this derives
+    /// from the cell's measured mean miss wait; open-loop cells charge
+    /// the configured constant.
     pub person_minutes_per_day: f64,
+    /// Measured first-byte wait distributions from the closed-loop run;
+    /// `None` for open-loop cells.
+    pub latency: Option<LatencyOutcome>,
 }
 
 /// Everything measured on one trace shard (a preset × scale coordinate).
@@ -366,6 +403,10 @@ pub struct Winner {
     /// Best *practical* policy by miss ratio (Belady excluded), when the
     /// group contains a practical policy.
     pub practical: Option<PolicyId>,
+    /// Best policy by mean first-byte read wait; latency mode only.
+    pub by_mean_wait: Option<PolicyId>,
+    /// Best policy by p99 first-byte read wait; latency mode only.
+    pub by_p99_wait: Option<PolicyId>,
 }
 
 /// The comparative output of a sweep.
@@ -375,6 +416,8 @@ pub struct SweepReport {
     pub base_seed: u64,
     /// Whether shards ran the device simulation.
     pub simulated_devices: bool,
+    /// Whether cells ran latency-true (closed-loop) evaluation.
+    pub latency_mode: bool,
     /// One report per trace shard, in matrix order (preset major).
     pub shards: Vec<ShardReport>,
     /// One winner row per (preset, scale, cache) group.
@@ -418,6 +461,25 @@ impl SweepReport {
                         _ => Some(c),
                     })
                     .map(|c| c.policy);
+                // Latency columns exist only when every cell in the
+                // group carries a closed-loop measurement.
+                let best_wait = |key: fn(&LatencyOutcome) -> f64| -> Option<PolicyId> {
+                    if !group.iter().all(|c| c.latency.is_some()) {
+                        return None;
+                    }
+                    group
+                        .iter()
+                        .fold(None::<&&CellResult>, |acc, c| match acc {
+                            Some(a)
+                                if key(&a.latency.expect("checked above"))
+                                    <= key(&c.latency.expect("checked above")) =>
+                            {
+                                Some(a)
+                            }
+                            _ => Some(c),
+                        })
+                        .map(|c| c.policy)
+                };
                 self.winners.push(Winner {
                     preset: shard.preset,
                     scale: shard.scale,
@@ -425,6 +487,8 @@ impl SweepReport {
                     by_miss_ratio: best(|c| c.miss_ratio),
                     by_person_minutes: best(|c| c.person_minutes_per_day),
                     practical,
+                    by_mean_wait: best_wait(|l| l.mean_read_wait_s),
+                    by_p99_wait: best_wait(|l| l.p99_read_wait_s),
                 });
             }
         }
@@ -445,6 +509,8 @@ impl SweepReport {
         } else {
             "false"
         });
+        out.push_str(",\n  \"latency_mode\": ");
+        out.push_str(if self.latency_mode { "true" } else { "false" });
         out.push_str(",\n  \"shards\": [");
         for (i, shard) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -470,6 +536,16 @@ impl SweepReport {
             json_str(&mut out, w.by_person_minutes.name());
             out.push_str(", \"practical\": ");
             match w.practical {
+                Some(p) => json_str(&mut out, p.name()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"by_mean_wait\": ");
+            match w.by_mean_wait {
+                Some(p) => json_str(&mut out, p.name()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"by_p99_wait\": ");
+            match w.by_p99_wait {
                 Some(p) => json_str(&mut out, p.name()),
                 None => out.push_str("null"),
             }
@@ -500,19 +576,26 @@ impl SweepReport {
             }
             for cell in &shard.cells {
                 out.push_str(&format!(
-                    "  cache {:>5.2}% {:<9} miss {:>6.2}% byte-miss {:>6.2}% person-min/day {:>10.1}\n",
+                    "  cache {:>5.2}% {:<9} miss {:>6.2}% byte-miss {:>6.2}% person-min/day {:>10.1}",
                     cell.cache_fraction * 100.0,
                     cell.policy.name(),
                     cell.miss_ratio * 100.0,
                     cell.byte_miss_ratio * 100.0,
                     cell.person_minutes_per_day,
                 ));
+                if let Some(l) = &cell.latency {
+                    out.push_str(&format!(
+                        " wait mean {:>6.1}s p99 {:>6.1}s coalesced {}",
+                        l.mean_read_wait_s, l.p99_read_wait_s, l.delayed_hits,
+                    ));
+                }
+                out.push('\n');
             }
         }
         out.push_str("winners:\n");
         for w in &self.winners {
             out.push_str(&format!(
-                "  {}/{} @ cache {:.2}%: miss-ratio {} | person-minutes {} | practical {}\n",
+                "  {}/{} @ cache {:.2}%: miss-ratio {} | person-minutes {} | practical {}",
                 w.preset.name(),
                 w.scale,
                 w.cache_fraction * 100.0,
@@ -520,6 +603,14 @@ impl SweepReport {
                 w.by_person_minutes.name(),
                 w.practical.map_or("-", |p| p.name()),
             ));
+            if let (Some(mean), Some(p99)) = (w.by_mean_wait, w.by_p99_wait) {
+                out.push_str(&format!(
+                    " | mean-wait {} | p99-wait {}",
+                    mean.name(),
+                    p99.name()
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -576,6 +667,29 @@ fn shard_json(out: &mut String, s: &ShardReport) {
         json_f64(out, c.byte_miss_ratio);
         out.push_str(", \"person_minutes_per_day\": ");
         json_f64(out, c.person_minutes_per_day);
+        out.push_str(", \"latency\": ");
+        match &c.latency {
+            None => out.push_str("null"),
+            Some(l) => {
+                out.push_str("{\"mean_read_wait_s\": ");
+                json_f64(out, l.mean_read_wait_s);
+                out.push_str(", \"p99_read_wait_s\": ");
+                json_f64(out, l.p99_read_wait_s);
+                out.push_str(", \"mean_miss_wait_s\": ");
+                json_f64(out, l.mean_miss_wait_s);
+                out.push_str(", \"mean_delayed_wait_s\": ");
+                json_f64(out, l.mean_delayed_wait_s);
+                out.push_str(", \"delayed_hits\": ");
+                out.push_str(&l.delayed_hits.to_string());
+                out.push_str(", \"recalls\": ");
+                out.push_str(&l.recalls.to_string());
+                out.push_str(", \"flush_bytes\": ");
+                out.push_str(&l.flush_bytes.to_string());
+                out.push_str(", \"mean_flush_queue_s\": ");
+                json_f64(out, l.mean_flush_queue_s);
+                out.push('}');
+            }
+        }
         out.push('}');
     }
     out.push_str("]}");
@@ -640,6 +754,14 @@ mod tests {
             for s in 0..cfg.scales.len() {
                 assert!(seen.insert(cfg.workload_seed(p, s)), "workload seed reused");
                 assert!(seen.insert(cfg.sim_seed(p, s)), "sim seed reused");
+                for c in 0..cfg.cache_fractions.len() {
+                    for pol in 0..cfg.policies.len() {
+                        assert!(
+                            seen.insert(cfg.cell_sim_seed(p, s, c, pol)),
+                            "cell sim seed reused"
+                        );
+                    }
+                }
             }
         }
     }
@@ -666,19 +788,11 @@ mod tests {
         assert_eq!(nan, "null");
     }
 
-    #[test]
-    fn winners_pick_the_minimum_and_exclude_belady_from_practical() {
-        let cell = |policy, miss: f64, pm: f64| CellResult {
-            policy,
-            cache_fraction: 0.01,
-            capacity_bytes: 1,
-            miss_ratio: miss,
-            byte_miss_ratio: miss,
-            person_minutes_per_day: pm,
-        };
-        let mut report = SweepReport {
+    fn test_report(cells: Vec<CellResult>) -> SweepReport {
+        SweepReport {
             base_seed: 0,
             simulated_devices: false,
+            latency_mode: false,
             shards: vec![ShardReport {
                 preset: PresetId::Ncar,
                 scale: 0.002,
@@ -691,19 +805,74 @@ mod tests {
                 mean_read_latency_s: 0.0,
                 mean_write_latency_s: 0.0,
                 paper_deltas: vec![],
-                cells: vec![
-                    cell(PolicyId::Belady, 0.10, 5.0),
-                    cell(PolicyId::Lru, 0.30, 1.0),
-                    cell(PolicyId::Stp14, 0.20, 2.0),
-                ],
+                cells,
             }],
             winners: vec![],
-        };
+        }
+    }
+
+    fn cell(policy: PolicyId, miss: f64, pm: f64) -> CellResult {
+        CellResult {
+            policy,
+            cache_fraction: 0.01,
+            capacity_bytes: 1,
+            miss_ratio: miss,
+            byte_miss_ratio: miss,
+            person_minutes_per_day: pm,
+            latency: None,
+        }
+    }
+
+    #[test]
+    fn winners_pick_the_minimum_and_exclude_belady_from_practical() {
+        let mut report = test_report(vec![
+            cell(PolicyId::Belady, 0.10, 5.0),
+            cell(PolicyId::Lru, 0.30, 1.0),
+            cell(PolicyId::Stp14, 0.20, 2.0),
+        ]);
         report.compute_winners();
         assert_eq!(report.winners.len(), 1);
         let w = &report.winners[0];
         assert_eq!(w.by_miss_ratio, PolicyId::Belady);
         assert_eq!(w.by_person_minutes, PolicyId::Lru);
         assert_eq!(w.practical, Some(PolicyId::Stp14));
+        // No latency measurements: the wait columns stay empty.
+        assert_eq!(w.by_mean_wait, None);
+        assert_eq!(w.by_p99_wait, None);
+    }
+
+    #[test]
+    fn latency_winner_columns_rank_by_measured_waits() {
+        let lat = |mean: f64, p99: f64| LatencyOutcome {
+            mean_read_wait_s: mean,
+            p99_read_wait_s: p99,
+            mean_miss_wait_s: 60.0,
+            mean_delayed_wait_s: 5.0,
+            delayed_hits: 3,
+            recalls: 10,
+            flush_bytes: 0,
+            mean_flush_queue_s: 0.0,
+        };
+        let mut cells = vec![
+            cell(PolicyId::Lru, 0.30, 1.0),
+            cell(PolicyId::Stp14, 0.20, 2.0),
+        ];
+        // LRU has the better mean, STP the better tail.
+        cells[0].latency = Some(lat(10.0, 300.0));
+        cells[1].latency = Some(lat(12.0, 150.0));
+        let mut report = test_report(cells);
+        report.latency_mode = true;
+        report.compute_winners();
+        let w = &report.winners[0];
+        assert_eq!(w.by_mean_wait, Some(PolicyId::Lru));
+        assert_eq!(w.by_p99_wait, Some(PolicyId::Stp14));
+        // Both the JSON and the text rendering carry the new columns.
+        let json = report.to_json();
+        assert!(json.contains("\"latency_mode\": true"));
+        assert!(json.contains("\"p99_read_wait_s\": 150.0"));
+        assert!(json.contains("\"by_p99_wait\": \"stp1.4\""));
+        let text = report.render();
+        assert!(text.contains("p99-wait stp1.4"));
+        assert!(text.contains("mean-wait lru"));
     }
 }

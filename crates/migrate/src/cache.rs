@@ -10,6 +10,20 @@
 //! marked "deleteable", so space reclamation never stalls on a tape
 //! write; without it, evicting a dirty file pays the flush at eviction
 //! time (`stall_bytes`).
+//!
+//! # Open loop vs closed loop
+//!
+//! The original API ([`DiskCache::read`] / [`DiskCache::write`]) is
+//! *open-loop*: a miss is charged a fixed cost and the fetched file is
+//! resident instantly. The event-driven API ([`DiskCache::read_with`] /
+//! [`DiskCache::write_with`] / [`DiskCache::fetch_complete`]) reports
+//! every side effect as a [`CacheOp`] so a device simulator can turn it
+//! into real traffic: misses become tape recalls that stay *outstanding*
+//! until the engine delivers them (references meanwhile coalesce as
+//! [`ReadResult::DelayedHit`]), and write-behind and purge flushes become
+//! tape writes that compete with those recalls. Both APIs make identical
+//! hit/miss/eviction decisions on the same reference sequence, which is
+//! what lets the closed loop reproduce open-loop miss ratios exactly.
 
 use std::collections::HashMap;
 
@@ -60,10 +74,16 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Bytes evicted.
     pub evicted_bytes: u64,
-    /// Dirty bytes that had to be flushed at eviction time (zero with
-    /// eager write-behind).
+    /// Dirty bytes flushed while usage still exceeded the high watermark
+    /// — demand evictions whose flush the triggering reference waits on
+    /// (zero with eager write-behind).
     pub stall_bytes: u64,
-    /// Bytes flushed to tape in the background.
+    /// Dirty bytes flushed by the background part of a watermark purge,
+    /// after usage dropped back under the high watermark on the way to
+    /// the low one (zero with eager write-behind).
+    pub purge_flush_bytes: u64,
+    /// Bytes flushed to tape in the background (eager write-behind plus
+    /// every dirty eviction, stall or purge).
     pub writeback_bytes: u64,
 }
 
@@ -98,6 +118,74 @@ impl CacheStats {
     }
 }
 
+/// A side effect of one cache reference, reported through the
+/// event-driven API so a closed-loop engine can turn it into device
+/// traffic. The open-loop API discards these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// A read miss: `bytes` must be recalled from tape. The file was
+    /// inserted with an outstanding fetch unless it bypassed the cache
+    /// (larger than the whole cache).
+    Fetch {
+        /// File being recalled.
+        id: u64,
+        /// Bytes to recall.
+        bytes: u64,
+    },
+    /// Eager write-behind scheduled `bytes` of freshly written data for
+    /// a background tape flush.
+    Writeback {
+        /// File whose dirty data is queued for tape.
+        id: u64,
+        /// Bytes to flush.
+        bytes: u64,
+    },
+    /// A dirty victim flushed while usage still exceeded the high
+    /// watermark — a demand eviction the triggering reference stalls on.
+    StallFlush {
+        /// Victim file.
+        id: u64,
+        /// Bytes flushed.
+        bytes: u64,
+    },
+    /// A dirty victim flushed by the background part of a watermark
+    /// purge, below the high watermark on the way to the low one.
+    PurgeFlush {
+        /// Victim file.
+        id: u64,
+        /// Bytes flushed.
+        bytes: u64,
+    },
+    /// A clean victim dropped; no tape traffic results.
+    Drop {
+        /// Victim file.
+        id: u64,
+        /// Bytes freed.
+        bytes: u64,
+    },
+}
+
+/// What a read reference found, as reported by [`DiskCache::read_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResult {
+    /// Resident and fully fetched: servable at disk latency.
+    Hit,
+    /// Resident but its tape recall is still outstanding: the reference
+    /// coalesces onto the in-flight fetch instead of issuing another
+    /// (a *delayed hit*).
+    DelayedHit,
+    /// Not resident: a recall must be issued.
+    Miss,
+}
+
+impl ReadResult {
+    /// True unless the reference missed (both hit flavours count as
+    /// hits for miss-ratio purposes).
+    pub fn is_resident(self) -> bool {
+        !matches!(self, ReadResult::Miss)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     size: u64,
@@ -105,6 +193,9 @@ struct Entry {
     created: i64,
     ref_count: u32,
     dirty: bool,
+    /// The tape recall that populated this entry is still in flight;
+    /// cleared by [`DiskCache::fetch_complete`].
+    fetching: bool,
     next_use: Option<i64>,
 }
 
@@ -170,25 +261,76 @@ impl<'p> DiskCache<'p> {
     ///
     /// `next_use` is the oracle's answer for Belady-style policies (the
     /// next time this same file will be referenced, if ever).
+    ///
+    /// This is the open-loop entry point: a miss's fetch completes
+    /// instantly, so the cache never holds outstanding-fetch state and
+    /// delayed hits cannot occur.
     pub fn read(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) -> bool {
+        let result = self.read_with(id, size, now, next_use, &mut |_| {});
+        if result == ReadResult::Miss {
+            self.fetch_complete(id);
+        }
+        result.is_resident()
+    }
+
+    /// Processes a read reference, reporting side effects to `ops`.
+    ///
+    /// On a miss the file is inserted with an outstanding fetch (see
+    /// [`DiskCache::fetch_complete`]) and a [`CacheOp::Fetch`] is
+    /// emitted; purges triggered by the insert report their victims.
+    /// Makes exactly the hit/miss/eviction decisions [`DiskCache::read`]
+    /// would.
+    pub fn read_with(
+        &mut self,
+        id: u64,
+        size: u64,
+        now: i64,
+        next_use: Option<i64>,
+        ops: &mut impl FnMut(CacheOp),
+    ) -> ReadResult {
         if let Some(e) = self.entries.get_mut(&id) {
             e.last_ref = now;
             e.ref_count += 1;
             e.next_use = next_use;
             self.stats.read_hits += 1;
             self.stats.read_hit_bytes += e.size;
-            return true;
+            return if e.fetching {
+                ReadResult::DelayedHit
+            } else {
+                ReadResult::Hit
+            };
         }
         self.stats.read_misses += 1;
         self.stats.read_miss_bytes += size;
-        // Fetch from tape into the cache (clean copy).
-        self.insert(id, size, now, false, next_use);
-        false
+        ops(CacheOp::Fetch { id, bytes: size });
+        // Fetch from tape into the cache (clean copy, recall in flight).
+        self.insert(id, size, now, false, true, next_use, ops);
+        ReadResult::Miss
     }
 
     /// Processes a write reference; the file lands in the cache dirty.
+    ///
+    /// Open-loop counterpart of [`DiskCache::write_with`].
     pub fn write(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) {
+        self.write_with(id, size, now, next_use, &mut |_| {});
+    }
+
+    /// Processes a write reference, reporting side effects to `ops`:
+    /// eager write-behind emits [`CacheOp::Writeback`], and any purge
+    /// the write triggers reports its victims.
+    pub fn write_with(
+        &mut self,
+        id: u64,
+        size: u64,
+        now: i64,
+        next_use: Option<i64>,
+        ops: &mut impl FnMut(CacheOp),
+    ) {
         self.stats.writes += 1;
+        if self.config.eager_writeback {
+            self.stats.writeback_bytes += size;
+            ops(CacheOp::Writeback { id, bytes: size });
+        }
         if let Some(e) = self.entries.get_mut(&id) {
             self.usage = self.usage - e.size + size;
             e.size = size;
@@ -196,20 +338,40 @@ impl<'p> DiskCache<'p> {
             e.ref_count += 1;
             e.next_use = next_use;
             e.dirty = !self.config.eager_writeback;
-            if self.config.eager_writeback {
-                self.stats.writeback_bytes += size;
-            }
-            self.maybe_purge(now);
+            self.maybe_purge(now, ops);
             return;
         }
         let dirty = !self.config.eager_writeback;
-        if self.config.eager_writeback {
-            self.stats.writeback_bytes += size;
-        }
-        self.insert(id, size, now, dirty, next_use);
+        self.insert(id, size, now, dirty, false, next_use, ops);
     }
 
-    fn insert(&mut self, id: u64, size: u64, now: i64, dirty: bool, next_use: Option<i64>) {
+    /// Marks `id`'s outstanding tape recall as delivered: subsequent
+    /// reads are plain hits again. Returns `true` if a fetch was
+    /// actually outstanding; no-op (false) when the file is not resident
+    /// — it may have been evicted while the recall was in flight, or
+    /// bypassed the cache entirely.
+    pub fn fetch_complete(&mut self, id: u64) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                let was = e.fetching;
+                e.fetching = false;
+                was
+            }
+            None => false,
+        }
+    }
+
+    #[expect(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        id: u64,
+        size: u64,
+        now: i64,
+        dirty: bool,
+        fetching: bool,
+        next_use: Option<i64>,
+        ops: &mut impl FnMut(CacheOp),
+    ) {
         if size > self.config.capacity {
             // Larger than the whole cache: bypass (tape-direct).
             return;
@@ -222,14 +384,15 @@ impl<'p> DiskCache<'p> {
                 created: now,
                 ref_count: 1,
                 dirty,
+                fetching,
                 next_use,
             },
         );
         self.usage += size;
-        self.maybe_purge(now);
+        self.maybe_purge(now, ops);
     }
 
-    fn maybe_purge(&mut self, now: i64) {
+    fn maybe_purge(&mut self, now: i64, ops: &mut impl FnMut(CacheOp)) {
         let high = (self.config.capacity as f64 * self.config.high_watermark) as u64;
         if self.usage <= high {
             return;
@@ -266,13 +429,26 @@ impl<'p> DiskCache<'p> {
             if self.usage <= low {
                 break;
             }
+            // Victims chosen while still above the high watermark free
+            // space the triggering reference needs *now*: a dirty flush
+            // there is a stall. Once back under the high mark the rest
+            // of the purge (down to the low mark) is background cleanup.
+            let stall = self.usage > high;
             let e = self.entries.remove(&id).expect("ranked id is resident");
             self.usage -= e.size;
             self.stats.evictions += 1;
             self.stats.evicted_bytes += e.size;
             if e.dirty {
-                self.stats.stall_bytes += e.size;
                 self.stats.writeback_bytes += e.size;
+                if stall {
+                    self.stats.stall_bytes += e.size;
+                    ops(CacheOp::StallFlush { id, bytes: e.size });
+                } else {
+                    self.stats.purge_flush_bytes += e.size;
+                    ops(CacheOp::PurgeFlush { id, bytes: e.size });
+                }
+            } else {
+                ops(CacheOp::Drop { id, bytes: e.size });
             }
         }
     }
@@ -438,6 +614,114 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stall_and_purge_flush_bytes_are_pinned_on_a_hand_built_trace() {
+        // Ten 100-byte dirty files in a 1000-byte cache (high 900, low
+        // 500). The tenth write pushes usage to 1000: evicting file 0
+        // happens above the high watermark (stall), files 1..=4 are the
+        // background leg of the purge down to 500.
+        let lru = Lru;
+        let lazy = CacheConfig {
+            eager_writeback: false,
+            ..cfg(1000)
+        };
+        let mut c = DiskCache::new(lazy, &lru);
+        let mut ops = Vec::new();
+        for i in 0..10 {
+            c.write_with(i, 100, i as i64, None, &mut |op| ops.push(op));
+        }
+        assert_eq!(c.stats().stall_bytes, 100);
+        assert_eq!(c.stats().purge_flush_bytes, 400);
+        assert_eq!(c.stats().writeback_bytes, 500);
+        assert_eq!(c.stats().evictions, 5);
+        let stalls: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, CacheOp::StallFlush { .. }))
+            .collect();
+        let purges: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, CacheOp::PurgeFlush { .. }))
+            .collect();
+        assert_eq!(stalls, [&CacheOp::StallFlush { id: 0, bytes: 100 }]);
+        assert_eq!(purges.len(), 4);
+        // Eager mode: same trace, everything goes out as writebacks and
+        // both eviction-flush counters stay zero.
+        let mut e = DiskCache::new(cfg(1000), &lru);
+        let mut eops = Vec::new();
+        for i in 0..10 {
+            e.write_with(i, 100, i as i64, None, &mut |op| eops.push(op));
+        }
+        assert_eq!(e.stats().stall_bytes, 0);
+        assert_eq!(e.stats().purge_flush_bytes, 0);
+        assert_eq!(
+            eops.iter()
+                .filter(|o| matches!(o, CacheOp::Writeback { .. }))
+                .count(),
+            10
+        );
+        assert!(eops.iter().any(|o| matches!(o, CacheOp::Drop { .. })));
+    }
+
+    #[test]
+    fn outstanding_fetches_classify_as_delayed_hits() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        let mut fetches = Vec::new();
+        let r = c.read_with(1, 100, 0, None, &mut |op| fetches.push(op));
+        assert_eq!(r, ReadResult::Miss);
+        assert_eq!(fetches, [CacheOp::Fetch { id: 1, bytes: 100 }]);
+        // While the recall is in flight, further reads coalesce.
+        let r = c.read_with(1, 100, 5, None, &mut |_| {});
+        assert_eq!(r, ReadResult::DelayedHit);
+        assert!(r.is_resident());
+        // Delivery turns them back into plain hits.
+        assert!(c.fetch_complete(1));
+        assert!(!c.fetch_complete(1), "second completion is a no-op");
+        let r = c.read_with(1, 100, 9, None, &mut |_| {});
+        assert_eq!(r, ReadResult::Hit);
+        // Both hit flavours count as hits: one miss, two hits.
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 2);
+        // Unknown / bypassed files complete as no-ops.
+        assert!(!c.fetch_complete(999));
+    }
+
+    #[test]
+    fn open_loop_read_never_leaves_fetches_outstanding() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        assert!(!c.read(1, 100, 0, None));
+        // If read() left the fetch outstanding this would be DelayedHit.
+        assert_eq!(c.read_with(1, 100, 5, None, &mut |_| {}), ReadResult::Hit);
+    }
+
+    #[test]
+    fn event_api_matches_open_loop_decisions() {
+        // The same interleaved reference sequence through both APIs must
+        // produce identical counters (the closed loop's correctness
+        // anchor).
+        let lru = Lru;
+        let seq: Vec<(bool, u64, u64)> = (0..60)
+            .map(|i| ((i % 3) == 0, i % 7, 100 + (i % 5) * 60))
+            .collect();
+        let mut open = DiskCache::new(cfg(1000), &lru);
+        let mut event = DiskCache::new(cfg(1000), &lru);
+        for (t, &(write, id, size)) in seq.iter().enumerate() {
+            let now = t as i64;
+            if write {
+                open.write(id, size, now, None);
+                event.write_with(id, size, now, None, &mut |_| {});
+            } else {
+                open.read(id, size, now, None);
+                let r = event.read_with(id, size, now, None, &mut |_| {});
+                if r == ReadResult::Miss {
+                    event.fetch_complete(id);
+                }
+            }
+        }
+        assert_eq!(open.stats(), event.stats());
     }
 
     #[test]

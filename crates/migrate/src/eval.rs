@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use fmig_trace::time::TRACE_DAYS;
-use fmig_trace::{Direction, TraceRecord};
+use fmig_trace::{DeviceClass, Direction, TraceRecord};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,13 @@ pub struct EvalConfig {
     pub cache: CacheConfig,
     /// Mean tape wait charged per read miss (seconds) for the
     /// person-minutes metric; the paper's MSS averages ~60 s.
+    ///
+    /// This constant is the *open-loop fallback*: a latency-true
+    /// (closed-loop) run measures each policy's actual mean read-miss
+    /// wait from the device model and
+    /// [`PolicyOutcome::attach_latency`] replaces the charge with that
+    /// measurement. Only open-loop evaluations — where no device model
+    /// runs — fall back to this number.
     pub wait_s_per_miss: f64,
     /// Trace length in days for per-day normalisation.
     pub trace_days: f64,
@@ -40,6 +47,35 @@ impl EvalConfig {
     }
 }
 
+/// Latency-true summary of one policy's closed-loop run: first-byte
+/// waits measured by the device model instead of charged as constants.
+///
+/// Produced by the closed-loop hierarchy engine (`fmig-sim`); kept here
+/// so [`PolicyOutcome`] can carry it without this crate depending on the
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyOutcome {
+    /// Mean first-byte wait over all reads (hits, delayed hits, and
+    /// misses), seconds.
+    pub mean_read_wait_s: f64,
+    /// 99th-percentile first-byte read wait, seconds.
+    pub p99_read_wait_s: f64,
+    /// Mean wait of read misses (tape recalls), seconds.
+    pub mean_miss_wait_s: f64,
+    /// Mean wait of reads that coalesced onto an outstanding recall,
+    /// seconds.
+    pub mean_delayed_wait_s: f64,
+    /// Reads that coalesced onto an outstanding recall (delayed hits).
+    pub delayed_hits: u64,
+    /// Tape recalls actually issued (misses minus coalesced refetches).
+    pub recalls: u64,
+    /// Bytes of write-behind and eviction flushes sent to tape.
+    pub flush_bytes: u64,
+    /// Mean time a tape flush waited for a drive, seconds — the
+    /// write-back contention the closed loop exposes.
+    pub mean_flush_queue_s: f64,
+}
+
 /// The result of one policy's run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PolicyOutcome {
@@ -51,18 +87,54 @@ pub struct PolicyOutcome {
     pub miss_ratio: f64,
     /// Read miss ratio by bytes.
     pub byte_miss_ratio: f64,
-    /// §2.3 person-minutes lost per day.
+    /// §2.3 person-minutes lost per day. Charged at
+    /// [`EvalConfig::wait_s_per_miss`] in open-loop mode; derived from
+    /// the measured mean miss wait once a latency-true run is attached.
     pub person_minutes_per_day: f64,
+    /// Measured first-byte latency distributions, when this outcome came
+    /// from (or was augmented by) a closed-loop run; `None` in open-loop
+    /// mode.
+    pub latency: Option<LatencyOutcome>,
 }
 
-/// One reference prepared for replay: id, size, direction, time, next use.
-#[derive(Debug, Clone, Copy)]
-struct PreparedRef {
-    id: u64,
-    size: u64,
-    write: bool,
-    time: i64,
-    next_use: Option<i64>,
+impl PolicyOutcome {
+    /// Attaches a latency-true measurement and re-derives the
+    /// person-minutes cost from the measured mean read-miss wait,
+    /// superseding the open-loop `wait_s_per_miss` constant.
+    pub fn attach_latency(&mut self, latency: LatencyOutcome, config: &EvalConfig) {
+        self.person_minutes_per_day = self
+            .stats
+            .person_minutes_per_day(latency.mean_miss_wait_s, config.trace_days);
+        self.latency = Some(latency);
+    }
+
+    /// The per-miss wait in effect: measured when latency-true, the
+    /// configured constant otherwise.
+    pub fn wait_s_per_miss(&self, config: &EvalConfig) -> f64 {
+        self.latency
+            .map_or(config.wait_s_per_miss, |l| l.mean_miss_wait_s)
+    }
+}
+
+/// One reference prepared for replay, in trace order.
+///
+/// Public so the closed-loop hierarchy engine (`fmig-sim`) can replay
+/// the exact reference sequence open-loop evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedRef {
+    /// Dense file id interned from the MSS path.
+    pub id: u64,
+    /// File size in bytes (at least 1).
+    pub size: u64,
+    /// True for writes.
+    pub write: bool,
+    /// Reference time, seconds since the Unix epoch.
+    pub time: i64,
+    /// Next reference to the same file, for Belady's oracle.
+    pub next_use: Option<i64>,
+    /// Storage class the original record was served from; closed-loop
+    /// replay recalls misses from the matching tape tier.
+    pub device: DeviceClass,
 }
 
 /// Incremental trace preparation: feed records one at a time (straight
@@ -104,6 +176,7 @@ impl TracePrep {
             write: rec.direction() == Direction::Write,
             time: rec.start.as_unix(),
             next_use: None,
+            device: rec.mss_device().unwrap_or(DeviceClass::Disk),
         });
     }
 
@@ -136,6 +209,12 @@ impl PreparedTrace {
         self.refs.is_empty()
     }
 
+    /// The prepared references, in trace order — the exact sequence both
+    /// open-loop replay and the closed-loop hierarchy engine consume.
+    pub fn refs(&self) -> &[PreparedRef] {
+        &self.refs
+    }
+
     /// Replays one policy over the trace.
     pub fn replay(&self, policy: &dyn MigrationPolicy, config: &EvalConfig) -> PolicyOutcome {
         let stats = replay(&self.refs, policy, config);
@@ -146,6 +225,7 @@ impl PreparedTrace {
             byte_miss_ratio: stats.byte_miss_ratio(),
             person_minutes_per_day: stats
                 .person_minutes_per_day(config.wait_s_per_miss, config.trace_days),
+            latency: None,
         }
     }
 

@@ -36,10 +36,13 @@ pub mod prefetch;
 pub mod residency;
 pub mod writeback;
 
-pub use cache::{CacheConfig, CacheStats, DiskCache};
+pub use cache::{CacheConfig, CacheOp, CacheStats, DiskCache, ReadResult};
 pub use dedup::DedupReport;
 pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
-pub use eval::{evaluate_policies, EvalConfig, PolicyOutcome, PreparedTrace, TracePrep};
+pub use eval::{
+    evaluate_policies, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
+    TracePrep,
+};
 pub use policy::{
     standard_suite, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac,
     SmallestFirst, Stp,

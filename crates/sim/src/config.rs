@@ -73,6 +73,17 @@ pub struct SimConfig {
     /// Median latency for requests that fail at the MSCP (§5.1 errors),
     /// seconds.
     pub error_latency_median_s: f64,
+    /// Closed-loop hierarchy engine only: how long freshly written dirty
+    /// data may age before the eager write-behind flusher sends it to
+    /// tape, seconds. Batching flushes off the critical path is exactly
+    /// the §6 write-behind recommendation; the open-loop trace replay
+    /// ignores this knob.
+    pub writeback_delay_s: f64,
+    /// Closed-loop hierarchy engine only: coalesce references to a file
+    /// with an outstanding tape recall onto that recall (delayed hits)
+    /// instead of issuing an independent fetch per reference. On by
+    /// default; turning it off is the ablation baseline.
+    pub recall_coalescing: bool,
 }
 
 impl Default for SimConfig {
@@ -101,6 +112,8 @@ impl Default for SimConfig {
             cartridge_bytes: 200_000_000,
             tape_unload_s: 5.0,
             error_latency_median_s: 2.0,
+            writeback_delay_s: 30.0,
+            recall_coalescing: true,
         }
     }
 }

@@ -28,7 +28,8 @@ fn main() {
         cache_fractions: vec![0.005, 0.015, 0.05],
         base_seed: 1993,
         simulate_devices: true,
-        workers: 0, // one per CPU
+        latency: false, // open-loop: miss ratios only, cheap
+        workers: 0,     // one per CPU
     };
     println!(
         "sweep: {} cells in {} shards (policy x preset x scale x cache)\n",

@@ -22,6 +22,7 @@ fn sweep_matrix() -> SweepConfig {
         cache_fractions: vec![0.01, 0.05],
         base_seed: 0xDE7E_2217,
         simulate_devices: true,
+        latency: false,
         workers: 1,
     }
 }
@@ -38,6 +39,48 @@ fn sweep_report_is_byte_identical_across_worker_counts() {
     assert!(a.contains("\"shards\""));
     assert!(a.contains("\"winners\""));
     assert!(a.contains("stp1.4"));
+}
+
+#[test]
+fn latency_sweep_report_is_byte_identical_across_worker_counts() {
+    let mut serial = sweep_matrix();
+    serial.latency = true;
+    let mut pooled = serial.clone();
+    pooled.workers = 8;
+    let a = run_sweep(&serial).to_json();
+    let b = run_sweep(&pooled).to_json();
+    assert_eq!(a, b, "worker count leaked into the latency report");
+    // The closed-loop cells actually measured something.
+    assert!(a.contains("\"latency_mode\": true"));
+    assert!(a.contains("\"mean_read_wait_s\""));
+    assert!(a.contains("\"by_p99_wait\": \""));
+    assert!(!a.contains("\"latency\": null"));
+}
+
+#[test]
+fn closed_loop_cells_reproduce_open_loop_miss_ratios() {
+    let open = sweep_matrix();
+    let mut closed = open.clone();
+    closed.latency = true;
+    let a = run_sweep(&open);
+    let b = run_sweep(&closed);
+    for (sa, sb) in a.shards.iter().zip(&b.shards) {
+        for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+            assert_eq!(ca.policy, cb.policy);
+            assert_eq!(
+                ca.miss_ratio,
+                cb.miss_ratio,
+                "{} diverged on {}/{}",
+                ca.policy.name(),
+                sa.preset.name(),
+                sa.scale
+            );
+            assert_eq!(ca.byte_miss_ratio, cb.byte_miss_ratio);
+            let lat = cb.latency.expect("closed-loop cell");
+            assert!(lat.mean_read_wait_s > 0.0);
+            assert!(lat.p99_read_wait_s >= lat.mean_read_wait_s);
+        }
+    }
 }
 
 #[test]
