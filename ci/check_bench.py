@@ -5,25 +5,27 @@ Usage: check_bench.py BASELINE CURRENT [THRESHOLD]
 
 Both files are `repro sweep` artifacts (or, for the baseline, a stub
 with just the cost keys). The compared figures are `normalized_cost`
-(the open-loop matrix) and, when both files carry it,
-`latency_normalized_cost` (the closed-loop hierarchy-engine matrix from
-`repro sweep --latency`): sweep wall time divided by an in-process CPU
-calibration loop measured on the same machine, so the ratios are
-comparable across runner generations. The gate fails when any compared
-cost exceeds its baseline by more than THRESHOLD (default 1.25, i.e. a
->25% regression).
+(the open-loop matrix), `mrc_normalized_cost` (the single-pass
+miss-ratio-curve engine drawing an eight-point capacity curve on the
+first shard) and, when both files carry it, `latency_normalized_cost`
+(the closed-loop hierarchy-engine matrix from `repro sweep --latency`):
+wall time divided by an in-process CPU calibration loop measured on the
+same machine, so the ratios are comparable across runner generations.
+The gate fails when any compared cost exceeds its baseline by more than
+THRESHOLD (default 1.25, i.e. a >25% regression).
 
 To re-baseline after an intentional change:
     make bench-track   # writes BENCH_sweep.json
     python3 -c "import json; a = json.load(open('BENCH_sweep.json')); \
 print(json.dumps({k: a[k] for k in ('normalized_cost', \
-'latency_normalized_cost') if k in a}))" > ci/bench_baseline.json
+'mrc_normalized_cost', 'latency_normalized_cost') if k in a}))" \
+> ci/bench_baseline.json
 """
 
 import json
 import sys
 
-GATED_KEYS = ("normalized_cost", "latency_normalized_cost")
+GATED_KEYS = ("normalized_cost", "mrc_normalized_cost", "latency_normalized_cost")
 
 
 def main() -> int:

@@ -15,6 +15,12 @@
 //! `Vec<TraceRecord>` that [`crate::Study::run`] keeps for the
 //! experiment registry is never materialized here, which is what makes
 //! wide matrices affordable.
+//!
+//! Open-loop cells that differ only in `cache_fraction` collapse onto
+//! one single-pass miss-ratio curve per (policy, shard) — bit-identical
+//! to per-cell replay (see `fmig_migrate::mrc`) but one trace walk
+//! instead of one per capacity. Closed-loop (latency) cells keep their
+//! individual hierarchy-engine runs, since device feedback is per-cell.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -120,32 +126,64 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
     };
 
     let prepared = prep.finish();
+    let capacities: Vec<u64> = config
+        .cache_fractions
+        .iter()
+        .map(|&fraction| ((referenced_bytes as f64 * fraction) as u64).max(1))
+        .collect();
     let mut cells = Vec::with_capacity(config.cache_fractions.len() * config.policies.len());
-    for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
-        let capacity_bytes = ((referenced_bytes as f64 * fraction) as u64).max(1);
-        let eval_config = EvalConfig::with_capacity(capacity_bytes);
-        for (policy_idx, policy) in config.policies.iter().enumerate() {
-            // Latency mode sends every cell through the closed-loop
-            // hierarchy engine: same cache decisions as open-loop replay
-            // (the engine drives the identical DiskCache call sequence),
-            // plus measured wait distributions and person-minutes
-            // derived from the cell's own mean miss wait.
-            let outcome = if config.latency {
+    if config.latency {
+        // Latency mode sends every cell through the closed-loop
+        // hierarchy engine: same cache decisions as open-loop replay
+        // (the engine drives the identical DiskCache call sequence),
+        // plus measured wait distributions and person-minutes derived
+        // from the cell's own mean miss wait. Feedback is per-cell, so
+        // cells cannot share a pass here.
+        for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
+            let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
+            for (policy_idx, policy) in config.policies.iter().enumerate() {
                 let cell_seed = config.cell_sim_seed(preset_idx, scale_idx, cache_idx, policy_idx);
                 let hierarchy = HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
-                hierarchy.evaluate(&prepared, policy.build().as_ref(), &eval_config)
-            } else {
-                prepared.replay(policy.build().as_ref(), &eval_config)
-            };
-            cells.push(CellResult {
-                policy: *policy,
-                cache_fraction: fraction,
-                capacity_bytes,
-                miss_ratio: outcome.miss_ratio,
-                byte_miss_ratio: outcome.byte_miss_ratio,
-                person_minutes_per_day: outcome.person_minutes_per_day,
-                latency: outcome.latency,
-            });
+                let outcome = hierarchy.evaluate(&prepared, policy.build().as_ref(), &eval_config);
+                cells.push(CellResult {
+                    policy: *policy,
+                    cache_fraction: fraction,
+                    capacity_bytes: capacities[cache_idx],
+                    miss_ratio: outcome.miss_ratio,
+                    byte_miss_ratio: outcome.byte_miss_ratio,
+                    person_minutes_per_day: outcome.person_minutes_per_day,
+                    latency: outcome.latency,
+                });
+            }
+        }
+    } else {
+        // Open loop: all cache_fraction cells of one policy share a
+        // single-pass miss-ratio curve over the shard's trace — results
+        // are bit-identical to per-cell replay (see fmig_migrate::mrc),
+        // only the trace walks collapse.
+        let base = EvalConfig::with_capacity(0);
+        let curves: Vec<_> = config
+            .policies
+            .iter()
+            .map(|policy| prepared.miss_ratio_curve(policy.build().as_ref(), &capacities, &base))
+            .collect();
+        for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
+            let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
+            for (policy_idx, policy) in config.policies.iter().enumerate() {
+                let point = &curves[policy_idx].points[cache_idx];
+                cells.push(CellResult {
+                    policy: *policy,
+                    cache_fraction: fraction,
+                    capacity_bytes: capacities[cache_idx],
+                    miss_ratio: point.miss_ratio(),
+                    byte_miss_ratio: point.byte_miss_ratio(),
+                    person_minutes_per_day: point.stats.person_minutes_per_day(
+                        eval_config.wait_s_per_miss,
+                        eval_config.trace_days,
+                    ),
+                    latency: None,
+                });
+            }
         }
     }
 
@@ -281,6 +319,41 @@ mod tests {
         }
         let w = &b.winners[0];
         assert!(w.by_mean_wait.is_some() && w.by_p99_wait.is_some());
+    }
+
+    #[test]
+    fn collapsed_capacity_cells_match_per_cell_replay() {
+        // Three cache fractions share one MRC pass per policy; every
+        // cell must still carry exactly what an individual replay at its
+        // capacity produces. The closed-loop run replays each cell
+        // individually, so equal miss ratios across all cells is an
+        // end-to-end check of the collapse.
+        let mut open = SweepConfig::tiny();
+        open.simulate_devices = false;
+        open.cache_fractions = vec![0.005, 0.015, 0.05];
+        let mut closed = open.clone();
+        closed.latency = true;
+        let a = run_sweep(&open);
+        let b = run_sweep(&closed);
+        assert_eq!(a.shards[0].cells.len(), 9);
+        for (ca, cb) in a.shards[0].cells.iter().zip(&b.shards[0].cells) {
+            assert_eq!(ca.policy, cb.policy);
+            assert_eq!(ca.cache_fraction, cb.cache_fraction);
+            assert_eq!(ca.miss_ratio, cb.miss_ratio, "{}", ca.policy.name());
+            assert_eq!(ca.byte_miss_ratio, cb.byte_miss_ratio);
+        }
+        // Bigger caches never miss more on the same trace and policy.
+        for policy in &open.policies {
+            let series: Vec<f64> = a.shards[0]
+                .cells
+                .iter()
+                .filter(|c| c.policy == *policy)
+                .map(|c| c.miss_ratio)
+                .collect();
+            for w in series.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12, "{}: {series:?}", policy.name());
+            }
+        }
     }
 
     #[test]

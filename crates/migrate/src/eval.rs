@@ -273,25 +273,50 @@ impl PreparedTrace {
 
     /// Sweeps cache capacity for one policy, for miss-ratio-vs-size
     /// curves.
+    ///
+    /// Since the single-pass engine landed this is a thin wrapper over
+    /// [`PreparedTrace::miss_ratio_curve`]: one trace walk produces the
+    /// whole grid, with results bit-identical to the per-capacity
+    /// replays this method used to run.
     pub fn capacity_sweep(
         &self,
         policy: &dyn MigrationPolicy,
         capacities: &[u64],
         base: &EvalConfig,
     ) -> Vec<(u64, f64)> {
-        capacities
-            .iter()
-            .map(|&cap| {
-                let cfg = EvalConfig {
-                    cache: CacheConfig {
-                        capacity: cap,
-                        ..base.cache
-                    },
-                    ..*base
-                };
-                (cap, replay(&self.refs, policy, &cfg).miss_ratio())
-            })
-            .collect()
+        self.miss_ratio_curve(policy, capacities, base)
+            .miss_ratios()
+    }
+
+    /// Computes the exact miss-ratio curve for one policy at a grid of
+    /// capacities in a single pass; see [`crate::mrc`].
+    pub fn miss_ratio_curve(
+        &self,
+        policy: &dyn MigrationPolicy,
+        capacities: &[u64],
+        base: &EvalConfig,
+    ) -> crate::mrc::MissRatioCurve {
+        crate::mrc::sweep_capacities(&self.refs, policy, capacities, base)
+    }
+
+    /// The pre-index capacity sweep: one full replay per capacity with
+    /// the sort-based rescan. Kept as the oracle and benchmark baseline
+    /// for the single-pass engine; see
+    /// [`crate::mrc::sweep_capacities_naive`].
+    pub fn capacity_sweep_naive(
+        &self,
+        policy: &dyn MigrationPolicy,
+        capacities: &[u64],
+        base: &EvalConfig,
+    ) -> Vec<(u64, f64)> {
+        crate::mrc::sweep_capacities_naive(&self.refs, policy, capacities, base).miss_ratios()
+    }
+
+    /// Wraps already-prepared references for replay. The caller vouches
+    /// for the invariants [`TracePrep`] normally establishes: times in
+    /// trace order and `next_use` from a consistent reverse sweep.
+    pub fn from_refs(refs: Vec<PreparedRef>) -> Self {
+        PreparedTrace { refs }
     }
 }
 

@@ -9,6 +9,8 @@
 //!   ratios and write-back stalls under any policy;
 //! * [`eval`] — the Smith/Lawrie comparison harness (parallel across
 //!   policies) plus capacity sweeps;
+//! * [`mrc`] — single-pass miss-ratio curves: a whole capacity grid from
+//!   one trace walk, exact against per-capacity replay;
 //! * [`dedup`] — §6's eight-hour same-file request deduplication;
 //! * [`writeback`] — §6's lazy write-behind trace transformation;
 //! * [`prefetch`] — sequential (day-1 → day-2) prefetch predictability;
@@ -31,21 +33,26 @@ pub mod cache;
 pub mod dedup;
 pub mod dividing;
 pub mod eval;
+pub mod mrc;
 pub mod policy;
 pub mod prefetch;
+mod rank;
 pub mod residency;
 pub mod writeback;
 
-pub use cache::{CacheConfig, CacheOp, CacheStats, DiskCache, ReadResult};
+pub use cache::{
+    CacheConfig, CacheOp, CacheStats, DiskCache, EvictionMode, ReadResult, INDEX_MIN_RESIDENTS,
+};
 pub use dedup::DedupReport;
 pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
 pub use eval::{
     evaluate_policies, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
     TracePrep,
 };
+pub use mrc::{MissRatioCurve, MrcPoint};
 pub use policy::{
-    standard_suite, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac,
-    SmallestFirst, Stp,
+    standard_suite, AffinePriority, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy,
+    RandomEvict, Saac, SmallestFirst, Stp,
 };
 pub use prefetch::PrefetchReport;
 pub use residency::{ResidencyCostModel, ResidencyOutcome, ResidencyPolicy};

@@ -1,0 +1,802 @@
+//! Single-pass miss-ratio curves: the paper's central artifact (miss
+//! ratio vs staging-disk capacity, §2.3/§6-a) computed for a whole
+//! capacity grid in **one** walk of the trace.
+//!
+//! # Why a fused pass instead of a classical Mattson stack
+//!
+//! Mattson's stack algorithm gets a full miss-ratio curve from one pass
+//! by keeping a single inclusion-ordered stack — valid when a cache of
+//! size `c` always holds a subset of a cache of size `c' > c`. Our
+//! [`DiskCache`] deliberately breaks that premise twice: watermark
+//! purging evicts *batches* (down to the low watermark, not one file per
+//! miss), and policies like STP carry time-varying priorities, so the
+//! eviction decision a small cache makes early can differ in *order*
+//! from the one a large cache makes later. Inclusion does not hold, and
+//! a single-stack curve would be an approximation.
+//!
+//! The engine here keeps exactness instead: one pass over the prepared
+//! trace drives a per-capacity priority stack for every grid point
+//! simultaneously, over **one shared file table**. Per reference it
+//! pays one id lookup (files are interned to dense indices) and then a
+//! contiguous row of per-capacity sub-states — where a naive sweep pays
+//! a full hash lookup *per capacity*. Only residency-dependent state
+//! (size as of the last insert/write, creation time, reference count,
+//! dirtiness) is per-capacity; `last_ref` and `next_use` are written by
+//! every touch in every cache that holds the file, so they live once
+//! per file.
+//!
+//! Victim ranking is tiered by how much the policy promises:
+//!
+//! * **Pure recency** ([`MigrationPolicy::recency_keyed`], LRU): the
+//!   victim order is the same global recency order for *every*
+//!   capacity, so all stacks share **one** append-only touch log and
+//!   each walks it with its own clock-hand cursor — O(1) per reference
+//!   for the whole grid, no floats, no virtual calls. This is the
+//!   closest exact analogue of Mattson's single stack that watermark
+//!   batch purging admits.
+//! * **Affine** ([`MigrationPolicy::affine`]): per-capacity incremental
+//!   index with the same adaptive machinery as [`DiskCache`] (monotone
+//!   queue / lazy heap, resident-count gate
+//!   [`crate::cache::INDEX_MIN_RESIDENTS`]).
+//! * **Everything else**: the exact `total_cmp` rescan.
+//!
+//! The result is **bit-identical** to replaying the trace once per
+//! capacity (property-tested in `tests/mrc_index.rs` across every
+//! shipped policy), because each capacity's stack makes exactly the
+//! decisions a lone [`DiskCache`] would.
+//!
+//! The open-loop sweep runner collapses all `cache_fraction` cells that
+//! share a (policy, shard) coordinate onto one such pass; closed-loop
+//! latency cells still replay individually, since the device model's
+//! feedback is per-cell.
+
+use std::collections::HashMap;
+
+use crate::cache::{CacheConfig, CacheStats, DiskCache, EvictionMode, INDEX_MIN_RESIDENTS};
+use crate::eval::{EvalConfig, PolicyOutcome, PreparedRef};
+use crate::policy::{FileView, MigrationPolicy};
+use crate::rank::{Candidate, Popped, RankKey, VictimRank};
+
+/// One point of a miss-ratio curve: a capacity and the full cache
+/// counters measured there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrcPoint {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// The counters an individual replay at this capacity would produce.
+    pub stats: CacheStats,
+}
+
+impl MrcPoint {
+    /// Read miss ratio by references at this capacity.
+    pub fn miss_ratio(&self) -> f64 {
+        self.stats.miss_ratio()
+    }
+
+    /// Read miss ratio by bytes at this capacity.
+    pub fn byte_miss_ratio(&self) -> f64 {
+        self.stats.byte_miss_ratio()
+    }
+
+    /// Dresses the point up as the [`PolicyOutcome`] an individual
+    /// replay at this capacity would have returned.
+    pub fn outcome(&self, policy_name: &str, config: &EvalConfig) -> PolicyOutcome {
+        PolicyOutcome {
+            name: policy_name.to_string(),
+            stats: self.stats,
+            miss_ratio: self.stats.miss_ratio(),
+            byte_miss_ratio: self.stats.byte_miss_ratio(),
+            person_minutes_per_day: self
+                .stats
+                .person_minutes_per_day(config.wait_s_per_miss, config.trace_days),
+            latency: None,
+        }
+    }
+}
+
+/// A miss-ratio curve: one policy evaluated at a grid of capacities, in
+/// the grid's order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRatioCurve {
+    /// Display name of the policy the curve belongs to.
+    pub policy: String,
+    /// One point per requested capacity, in request order.
+    pub points: Vec<MrcPoint>,
+}
+
+impl MissRatioCurve {
+    /// The `(capacity, miss_ratio)` pairs, the shape most plots want.
+    pub fn miss_ratios(&self) -> Vec<(u64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.capacity, p.miss_ratio()))
+            .collect()
+    }
+}
+
+/// Maps trace file ids to dense engine indices on the per-reference hot
+/// path.
+#[derive(Debug)]
+enum IdMap {
+    /// Trace ids from [`crate::eval::TracePrep`] are already dense
+    /// (interned to `0..N`), so a flat table beats a hash map.
+    Dense(Vec<u32>),
+    /// Hand-built reference streams may use arbitrary ids: fall back to
+    /// hashing once an id would blow the flat table up.
+    Sparse(HashMap<u64, u32>),
+}
+
+impl IdMap {
+    const NONE: u32 = u32::MAX;
+    /// Largest id the flat table will grow to cover (16 MB of slots);
+    /// anything beyond converts the map to hashing.
+    const DENSE_LIMIT: u64 = 1 << 22;
+
+    fn new() -> Self {
+        IdMap::Dense(Vec::new())
+    }
+
+    fn intern(&mut self, id: u64, mut alloc: impl FnMut() -> u32) -> u32 {
+        match self {
+            IdMap::Dense(table) => {
+                let i = id as usize;
+                if i < table.len() {
+                    if table[i] != Self::NONE {
+                        return table[i];
+                    }
+                    let fidx = alloc();
+                    table[i] = fidx;
+                    return fidx;
+                }
+                if id < Self::DENSE_LIMIT {
+                    table.resize(i + 1, Self::NONE);
+                    let fidx = alloc();
+                    table[i] = fidx;
+                    return fidx;
+                }
+                let mut map: HashMap<u64, u32> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != Self::NONE)
+                    .map(|(k, &v)| (k as u64, v))
+                    .collect();
+                let fidx = alloc();
+                map.insert(id, fidx);
+                *self = IdMap::Sparse(map);
+                fidx
+            }
+            IdMap::Sparse(map) => {
+                if let Some(&fidx) = map.get(&id) {
+                    return fidx;
+                }
+                let fidx = alloc();
+                map.insert(id, fidx);
+                fidx
+            }
+        }
+    }
+}
+
+/// Per-file state every capacity shares: each touch writes these in
+/// every cache that holds (or just fetched) the file, so one copy is
+/// exact for all of them.
+#[derive(Debug, Clone, Copy)]
+struct GlobalState {
+    /// The file's original (trace) id — the victim tie-break key.
+    id: u64,
+    last_ref: i64,
+    next_use: Option<i64>,
+    /// Index of the file's latest entry in the shared recency log
+    /// (recency-keyed policies only): a log entry is live iff it is the
+    /// file's latest.
+    last_seq: u32,
+}
+
+/// Residency-dependent state of one file in one capacity's stack.
+#[derive(Debug, Clone, Copy)]
+struct SubState {
+    resident: bool,
+    dirty: bool,
+    /// Size as of this stack's last insert/write of the file (a read
+    /// hit never resizes an entry, so stacks can disagree).
+    size: u64,
+    created: i64,
+    ref_count: u32,
+    /// Position in the stack's resident list, for O(1) removal.
+    pos: u32,
+}
+
+impl SubState {
+    const EMPTY: SubState = SubState {
+        resident: false,
+        dirty: false,
+        size: 0,
+        created: 0,
+        ref_count: 0,
+        pos: 0,
+    };
+}
+
+/// How one capacity's stack currently ranks victims — the same
+/// lifecycle as `DiskCache`'s `Auto` mode. The payload of each
+/// [`RankKey`] is the file's dense index.
+#[derive(Debug)]
+enum RankMode {
+    Unprobed,
+    Active {
+        slope_bits: u64,
+        rank: VictimRank<u32>,
+    },
+    Rescan,
+}
+
+/// One capacity's priority stack: watermarks, usage, counters, resident
+/// list, and victim-ranking state.
+#[derive(Debug)]
+struct Stack {
+    capacity: u64,
+    high: u64,
+    low: u64,
+    usage: u64,
+    stats: CacheStats,
+    residents: Vec<u32>,
+    rank: RankMode,
+    /// This stack's clock hand into the shared recency log
+    /// (recency-keyed policies only): everything before it is dead *for
+    /// this capacity*.
+    cursor: usize,
+}
+
+fn sub_view(g: &GlobalState, sub: &SubState) -> FileView {
+    FileView {
+        id: g.id,
+        size: sub.size,
+        last_ref: g.last_ref,
+        created: sub.created,
+        ref_count: sub.ref_count,
+        next_use: g.next_use,
+    }
+}
+
+impl Stack {
+    fn new(capacity: u64, base: &CacheConfig) -> Self {
+        Stack {
+            capacity,
+            high: (capacity as f64 * base.high_watermark) as u64,
+            low: (capacity as f64 * base.low_watermark) as u64,
+            usage: 0,
+            stats: CacheStats::default(),
+            residents: Vec::new(),
+            rank: RankMode::Unprobed,
+            cursor: 0,
+        }
+    }
+
+    /// Watermark purge off the shared recency log: advance this stack's
+    /// clock hand past dead entries (file gone from this capacity, or a
+    /// later touch exists) and evict live ones oldest-first, resolving
+    /// equal-timestamp groups by ascending id — exactly the
+    /// `(priority desc, id asc)` order LRU's rescan would produce,
+    /// without a single float or virtual call.
+    ///
+    /// Every resident's latest log entry is always at or past the
+    /// cursor (the hand only passes an entry once it is dead for this
+    /// capacity, and any later re-entry appends a fresh entry), so the
+    /// walk is exhaustive and each stack traverses the log at most once
+    /// per run.
+    fn maybe_purge_recency(
+        &mut self,
+        log: &[(i64, u32)],
+        globals: &[GlobalState],
+        subs: &mut [SubState],
+        grid: usize,
+        ci: usize,
+    ) {
+        if self.usage <= self.high {
+            return;
+        }
+        while self.usage > self.low {
+            let live = |fidx: u32, seq: usize, subs: &[SubState]| {
+                subs[fidx as usize * grid + ci].resident
+                    && globals[fidx as usize].last_seq == seq as u32
+            };
+            // Advance the hand past dead entries to the oldest live one.
+            let (time, mut victim) = loop {
+                let Some(&(time, fidx)) = log.get(self.cursor) else {
+                    return; // no live entry left: nothing to purge
+                };
+                if live(fidx, self.cursor, subs) {
+                    break (time, fidx);
+                }
+                self.cursor += 1;
+            };
+            // Equal-timestamp group: the oracle breaks the priority tie
+            // by ascending id, so pick the smallest live id among the
+            // group. The hand stays on the group until it is all dead.
+            let mut j = self.cursor + 1;
+            while let Some(&(t2, f2)) = log.get(j) {
+                if t2 != time {
+                    break;
+                }
+                if live(f2, j, subs) && globals[f2 as usize].id < globals[victim as usize].id {
+                    victim = f2;
+                }
+                j += 1;
+            }
+            self.evict(victim, subs, grid, ci);
+        }
+    }
+
+    /// Mirrors a touched/inserted resident's current affine key into the
+    /// index, exactly like `DiskCache::index_upsert`. Returns `true`
+    /// when stale elements dominate and the caller should rebuild the
+    /// heap from the resident set (the caller holds the file table the
+    /// rebuild needs).
+    #[must_use]
+    fn index_upsert(
+        &mut self,
+        policy: &dyn MigrationPolicy,
+        fidx: u32,
+        g: &GlobalState,
+        sub: &SubState,
+    ) -> bool {
+        let RankMode::Active { slope_bits, rank } = &mut self.rank else {
+            return false;
+        };
+        match policy.affine(&sub_view(g, sub)) {
+            Some(a) if a.slope.to_bits() == *slope_bits => {
+                rank.push(RankKey {
+                    intercept: a.intercept,
+                    id: g.id,
+                    payload: fidx,
+                });
+                rank.len() > self.residents.len() * 2 + 64
+            }
+            _ => {
+                self.rank = RankMode::Rescan;
+                false
+            }
+        }
+    }
+
+    /// Probes every resident's affine form and builds the index, or
+    /// settles on the rescan; `DiskCache::build_index` for one stack.
+    fn build_index(
+        &self,
+        policy: &dyn MigrationPolicy,
+        globals: &[GlobalState],
+        subs: &[SubState],
+        grid: usize,
+        ci: usize,
+    ) -> RankMode {
+        let mut slope_bits = None;
+        let mut keys = Vec::with_capacity(self.residents.len());
+        for &fidx in &self.residents {
+            let g = &globals[fidx as usize];
+            let sub = &subs[fidx as usize * grid + ci];
+            match policy.affine(&sub_view(g, sub)) {
+                Some(a) => {
+                    let bits = a.slope.to_bits();
+                    if *slope_bits.get_or_insert(bits) != bits {
+                        return RankMode::Rescan;
+                    }
+                    keys.push(RankKey {
+                        intercept: a.intercept,
+                        id: g.id,
+                        payload: fidx,
+                    });
+                }
+                None => return RankMode::Rescan,
+            }
+        }
+        match slope_bits {
+            Some(slope_bits) => RankMode::Active {
+                slope_bits,
+                rank: VictimRank::from_keys(keys),
+            },
+            None => RankMode::Rescan,
+        }
+    }
+
+    /// Inserts `fidx` (not currently resident) with the given state.
+    fn insert(&mut self, fidx: u32, sub: &mut SubState) {
+        sub.resident = true;
+        sub.pos = self.residents.len() as u32;
+        self.residents.push(fidx);
+        self.usage += sub.size;
+    }
+
+    /// Removes a victim from the resident list and books the eviction —
+    /// `DiskCache::evict` for one stack.
+    fn evict(&mut self, fidx: u32, subs: &mut [SubState], grid: usize, ci: usize) {
+        let stall = self.usage > self.high;
+        let sub = &mut subs[fidx as usize * grid + ci];
+        debug_assert!(sub.resident, "victim is resident");
+        sub.resident = false;
+        let pos = sub.pos as usize;
+        let size = sub.size;
+        self.residents.swap_remove(pos);
+        if let Some(&moved) = self.residents.get(pos) {
+            subs[moved as usize * grid + ci].pos = pos as u32;
+        }
+        self.usage -= size;
+        self.stats.evictions += 1;
+        self.stats.evicted_bytes += size;
+        if subs[fidx as usize * grid + ci].dirty {
+            self.stats.writeback_bytes += size;
+            if stall {
+                self.stats.stall_bytes += size;
+            } else {
+                self.stats.purge_flush_bytes += size;
+            }
+        }
+    }
+
+    /// Watermark purge with the same dispatch as `DiskCache`: activate
+    /// the index when eligible, pop victims off it, or fall back to the
+    /// exact rescan.
+    fn maybe_purge(
+        &mut self,
+        policy: &dyn MigrationPolicy,
+        globals: &[GlobalState],
+        subs: &mut [SubState],
+        grid: usize,
+        ci: usize,
+        now: i64,
+    ) {
+        if self.usage <= self.high {
+            return;
+        }
+        if matches!(self.rank, RankMode::Unprobed) && self.residents.len() >= INDEX_MIN_RESIDENTS {
+            self.rank = self.build_index(policy, globals, subs, grid, ci);
+        }
+        if matches!(self.rank, RankMode::Active { .. }) {
+            while self.usage > self.low {
+                let RankMode::Active { slope_bits, rank } = &mut self.rank else {
+                    unreachable!("checked above");
+                };
+                // The rank resolves staleness as keys surface; stale
+                // keys only ever overestimate (read-touch pushes are
+                // skipped exactly when they could only lower the key),
+                // so deflation converges on the exact maximum.
+                let slope_bits = *slope_bits;
+                let popped = rank.pop_best(|key| {
+                    let sub = &subs[key.payload as usize * grid + ci];
+                    if !sub.resident {
+                        return Candidate::Gone; // evicted since pushed
+                    }
+                    let g = &globals[key.payload as usize];
+                    match policy.affine(&sub_view(g, sub)) {
+                        Some(a)
+                            if a.slope.to_bits() == slope_bits
+                                && a.intercept.to_bits() == key.intercept.to_bits() =>
+                        {
+                            Candidate::Live
+                        }
+                        Some(a) if a.slope.to_bits() == slope_bits => Candidate::Moved(a.intercept),
+                        _ => Candidate::Abort, // contract violation
+                    }
+                });
+                match popped {
+                    Popped::Victim(key) => self.evict(key.payload, subs, grid, ci),
+                    Popped::Dry | Popped::Aborted => {
+                        self.rank = RankMode::Rescan;
+                        break;
+                    }
+                }
+            }
+            if self.usage <= self.low {
+                return;
+            }
+            // Fell through: the index degraded mid-purge.
+        }
+        // Exact rescan: rank every resident at `now`, highest priority
+        // first, id-ascending tie-break — identical to
+        // `DiskCache::purge_rescan`.
+        let mut ranked: Vec<(f64, u64, u32)> = self
+            .residents
+            .iter()
+            .map(|&fidx| {
+                let g = &globals[fidx as usize];
+                let sub = &subs[fidx as usize * grid + ci];
+                (policy.priority(&sub_view(g, sub), now), g.id, fidx)
+            })
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, _, fidx) in ranked {
+            if self.usage <= self.low {
+                break;
+            }
+            self.evict(fidx, subs, grid, ci);
+        }
+    }
+}
+
+/// Computes the exact miss-ratio curve for `policy` over `capacities` in
+/// a single pass over the prepared trace.
+///
+/// Each capacity's counters are bit-identical to what
+/// [`sweep_capacities_naive`] (one full replay per capacity) measures;
+/// the pass shares the file table, the id lookup, and the next-use
+/// oracle across the grid, and each stack purges through the adaptive
+/// eviction index wherever the policy is affine.
+///
+/// # Panics
+///
+/// Panics if `base.cache`'s watermarks are not `0 < low <= high <= 1`
+/// (the same contract as [`DiskCache::new`]).
+pub fn sweep_capacities(
+    refs: &[PreparedRef],
+    policy: &dyn MigrationPolicy,
+    capacities: &[u64],
+    base: &EvalConfig,
+) -> MissRatioCurve {
+    assert!(
+        base.cache.low_watermark > 0.0
+            && base.cache.low_watermark <= base.cache.high_watermark
+            && base.cache.high_watermark <= 1.0,
+        "bad watermarks {} / {}",
+        base.cache.low_watermark,
+        base.cache.high_watermark
+    );
+    let grid = capacities.len();
+    let mut stacks: Vec<Stack> = capacities
+        .iter()
+        .map(|&capacity| Stack::new(capacity, &base.cache))
+        .collect();
+    let skip_read_touch = policy.read_touch_monotone();
+    // Pure-recency policies (LRU) rank victims for the whole grid off
+    // one shared chronological touch log; see `maybe_purge_recency`.
+    let mut recency = policy.recency_keyed();
+    let mut log: Vec<(i64, u32)> = Vec::new();
+    let mut ids = IdMap::new();
+    let mut globals: Vec<GlobalState> = Vec::new();
+    let mut subs: Vec<SubState> = Vec::new();
+    let mut max_now = i64::MIN;
+    for r in refs {
+        let fidx = ids.intern(r.id, || {
+            globals.push(GlobalState {
+                id: r.id,
+                last_ref: 0,
+                next_use: None,
+                last_seq: 0,
+            });
+            subs.resize(globals.len() * grid, SubState::EMPTY);
+            (globals.len() - 1) as u32
+        });
+        if r.time < max_now {
+            // Monotone-clock guard, as in `DiskCache::note_time`: the
+            // affine contract is void, every stack degrades for good.
+            for stack in &mut stacks {
+                stack.rank = RankMode::Rescan;
+            }
+            recency = false;
+        } else {
+            max_now = r.time;
+        }
+        // Every touch writes these in every stack that ends up holding
+        // the file (hits refresh them, misses insert with them), so the
+        // shared copy is exact.
+        let g = &mut globals[fidx as usize];
+        g.last_ref = r.time;
+        g.next_use = r.next_use;
+        if recency {
+            g.last_seq = log.len() as u32;
+            log.push((r.time, fidx));
+        }
+        let row = fidx as usize * grid;
+        for (ci, stack) in stacks.iter_mut().enumerate() {
+            let sub = &mut subs[row + ci];
+            if r.write {
+                stack.stats.writes += 1;
+                if base.cache.eager_writeback {
+                    stack.stats.writeback_bytes += r.size;
+                }
+                if sub.resident {
+                    stack.usage = stack.usage - sub.size + r.size;
+                    sub.size = r.size;
+                    sub.ref_count += 1;
+                    sub.dirty = !base.cache.eager_writeback;
+                } else {
+                    if r.size > stack.capacity {
+                        continue; // tape-direct bypass
+                    }
+                    *sub = SubState {
+                        resident: false,
+                        dirty: !base.cache.eager_writeback,
+                        size: r.size,
+                        created: r.time,
+                        ref_count: 1,
+                        pos: 0,
+                    };
+                    stack.insert(fidx, sub);
+                }
+            } else if sub.resident {
+                // Read hit — the hot path. Usage is unchanged (no purge
+                // can trigger) and for read-touch-monotone policies the
+                // stale index key safely overestimates, so the whole
+                // index interaction is skipped.
+                stack.stats.read_hits += 1;
+                stack.stats.read_hit_bytes += sub.size;
+                sub.ref_count += 1;
+                if !skip_read_touch && !recency {
+                    let snapshot = *sub;
+                    if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot) {
+                        stack.rank = stack.build_index(policy, &globals, &subs, grid, ci);
+                    }
+                }
+                continue;
+            } else {
+                stack.stats.read_misses += 1;
+                stack.stats.read_miss_bytes += r.size;
+                if r.size > stack.capacity {
+                    continue; // tape-direct bypass
+                }
+                *sub = SubState {
+                    resident: false,
+                    dirty: false,
+                    size: r.size,
+                    created: r.time,
+                    ref_count: 1,
+                    pos: 0,
+                };
+                stack.insert(fidx, sub);
+            }
+            // Only writes and inserts reach here, the ops that can grow
+            // usage past the watermark — same reachability as
+            // `DiskCache`.
+            if recency {
+                stack.maybe_purge_recency(&log, &globals, &mut subs, grid, ci);
+                continue;
+            }
+            let snapshot = *sub;
+            if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot) {
+                stack.rank = stack.build_index(policy, &globals, &subs, grid, ci);
+            }
+            stack.maybe_purge(policy, &globals, &mut subs, grid, ci, r.time);
+        }
+    }
+    MissRatioCurve {
+        policy: policy.name(),
+        points: capacities
+            .iter()
+            .zip(&stacks)
+            .map(|(&capacity, stack)| MrcPoint {
+                capacity,
+                stats: stack.stats,
+            })
+            .collect(),
+    }
+}
+
+/// The pre-index cost model: replays the full trace once per capacity
+/// with the sort-based rescan ranking every purge.
+///
+/// Kept as the oracle the single-pass engine is property-tested against
+/// and as the baseline `examples/capacity_planning.rs` and
+/// `benches/eviction.rs` measure speedups over.
+pub fn sweep_capacities_naive(
+    refs: &[PreparedRef],
+    policy: &dyn MigrationPolicy,
+    capacities: &[u64],
+    base: &EvalConfig,
+) -> MissRatioCurve {
+    let points = capacities
+        .iter()
+        .map(|&capacity| {
+            let mut cache = DiskCache::with_eviction_mode(
+                CacheConfig {
+                    capacity,
+                    ..base.cache
+                },
+                policy,
+                EvictionMode::Rescan,
+            );
+            for r in refs {
+                if r.write {
+                    cache.write(r.id, r.size, r.time, r.next_use);
+                } else {
+                    cache.read(r.id, r.size, r.time, r.next_use);
+                }
+            }
+            MrcPoint {
+                capacity,
+                stats: *cache.stats(),
+            }
+        })
+        .collect();
+    MissRatioCurve {
+        policy: policy.name(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::prepare;
+    use crate::policy::{standard_suite, Belady, Lru};
+    use fmig_trace::time::TRACE_EPOCH;
+    use fmig_trace::{Endpoint, TraceRecord};
+
+    fn skewed_refs() -> Vec<PreparedRef> {
+        let mut records = Vec::new();
+        let mut t = 0i64;
+        for round in 0..50 {
+            for hot in 0..5 {
+                t += 15;
+                records.push(TraceRecord::read(
+                    Endpoint::MssDisk,
+                    TRACE_EPOCH.add_secs(t),
+                    300_000,
+                    format!("/hot/f{hot}"),
+                    1,
+                ));
+            }
+            t += 15;
+            records.push(TraceRecord::read(
+                Endpoint::MssTapeSilo,
+                TRACE_EPOCH.add_secs(t),
+                2_500_000,
+                format!("/cold/f{round}"),
+                1,
+            ));
+        }
+        prepare(records.iter()).refs().to_vec()
+    }
+
+    #[test]
+    fn single_pass_matches_naive_per_capacity_replay() {
+        let refs = skewed_refs();
+        let capacities = [900_000u64, 2_000_000, 5_000_000, 20_000_000, 80_000_000];
+        let base = EvalConfig::with_capacity(0);
+        let mut policies = standard_suite();
+        policies.push(Box::new(Belady));
+        for policy in &policies {
+            let fused = sweep_capacities(&refs, policy.as_ref(), &capacities, &base);
+            let naive = sweep_capacities_naive(&refs, policy.as_ref(), &capacities, &base);
+            assert_eq!(fused, naive, "{} diverged", policy.name());
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone_for_stack_friendly_policies() {
+        let refs = skewed_refs();
+        let capacities = [1_000_000u64, 4_000_000, 16_000_000, 64_000_000];
+        let curve = sweep_capacities(&refs, &Lru, &capacities, &EvalConfig::with_capacity(0));
+        for w in curve.miss_ratios().windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "LRU miss ratio rose with capacity: {:?}",
+                curve.miss_ratios()
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_matches_individual_replay() {
+        let refs = skewed_refs();
+        let base = EvalConfig::with_capacity(0);
+        let curve = sweep_capacities(&refs, &Lru, &[3_000_000], &base);
+        let config = EvalConfig {
+            cache: CacheConfig {
+                capacity: 3_000_000,
+                ..base.cache
+            },
+            ..base
+        };
+        let point = curve.points[0].outcome("LRU", &config);
+        let trace = crate::eval::PreparedTrace::from_refs(refs);
+        let direct = trace.replay(&Lru, &config);
+        assert_eq!(point, direct);
+    }
+
+    #[test]
+    fn empty_grid_and_empty_trace_are_fine() {
+        let refs = skewed_refs();
+        let base = EvalConfig::with_capacity(0);
+        assert!(sweep_capacities(&refs, &Lru, &[], &base).points.is_empty());
+        let empty = sweep_capacities(&[], &Lru, &[1_000_000], &base);
+        assert_eq!(empty.points[0].stats, CacheStats::default());
+    }
+}

@@ -38,6 +38,26 @@ pub struct FileView {
     pub next_use: Option<i64>,
 }
 
+/// An affine description of a file's eviction priority:
+/// `priority(file, now) = slope * now + intercept` for every purge time
+/// `now` the cache will evaluate it at.
+///
+/// See [`MigrationPolicy::affine`] for the exactness contract that lets
+/// the cache's incremental eviction index replace the per-purge full
+/// rescan with an amortized-log heap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffinePriority {
+    /// Coefficient on `now`. Must be identical for every file the policy
+    /// instance describes (a property of the *policy*, carried per file
+    /// so the index can verify it): with one shared slope, pairwise
+    /// priority order is independent of `now`, which is what makes an
+    /// index keyed once — instead of re-ranked every purge — exact.
+    pub slope: f64,
+    /// The file-dependent term. `f64::INFINITY` is allowed (Belady's
+    /// never-used-again class).
+    pub intercept: f64,
+}
+
 /// An eviction policy: higher [`MigrationPolicy::priority`] leaves first.
 pub trait MigrationPolicy: Send + Sync {
     /// Short display name ("STP(1.4)", "LRU", ...).
@@ -49,6 +69,83 @@ pub trait MigrationPolicy: Send + Sync {
 
     /// True if the policy needs `next_use` filled in by an oracle.
     fn needs_oracle(&self) -> bool {
+        false
+    }
+
+    /// The priority as an affine function of `now`, when the policy has
+    /// one — the hook behind the cache's incremental eviction index.
+    ///
+    /// # Contract
+    ///
+    /// Returning `Some` promises, for this exact `file` state:
+    ///
+    /// 1. **Shared slope.** `slope` is the same value for every file the
+    ///    policy instance is asked about. Pairwise priority order then
+    ///    never changes with `now`, so comparing intercepts (ties broken
+    ///    by ascending id, as in the rescan) reproduces the rescan's
+    ///    victim order exactly.
+    /// 2. **Exact comparisons.** For any two resident files `a`, `b` and
+    ///    any purge time `now` at or after both entries' last mutation,
+    ///    `priority(a, now).total_cmp(&priority(b, now))` equals
+    ///    `a.intercept.total_cmp(&b.intercept)` — *including ties*, since
+    ///    ties fall through to the id tie-break. The shipped policies
+    ///    meet this bit-for-bit because their priorities are exact
+    ///    integer-valued `f64`s (timestamps and byte sizes below 2^53),
+    ///    so ordering by `-last_ref`, `-created`, `±size`, or `next_use`
+    ///    is the same total order as ordering by the priority value.
+    /// 3. **Monotone clocks.** The form may assume reference times never
+    ///    decrease (the clamp in e.g. LRU's `(now - last_ref).max(0)`
+    ///    never engages for a resident entry) and that `next_use`, when
+    ///    consulted, comes from a consistent oracle — both true for every
+    ///    trace replay in this workspace. [`crate::cache::DiskCache`]
+    ///    additionally watches the clock and falls back to the exact
+    ///    rescan for good if time ever runs backwards.
+    ///
+    /// Policies whose priority bends with age (`STP` with exponent ≠ 1),
+    /// whose slope would vary per file (`STP(1.0)`'s `size·now`, SAAC's
+    /// activity discount), or whose ordering reshuffles over time
+    /// (salted random) must return `None`; the cache then keeps the
+    /// exact sort-based rescan, and the victim sequence is identical
+    /// either way.
+    fn affine(&self, _file: &FileView) -> Option<AffinePriority> {
+        None
+    }
+
+    /// True if a *read touch* (a read hit updating `last_ref`,
+    /// `ref_count`, and `next_use`) can never **raise** this policy's
+    /// affine intercept.
+    ///
+    /// When it holds, the eviction index skips the per-hit key push
+    /// entirely — the read hot path's most frequent operation — because
+    /// a stale key then only ever *overestimates* a file's priority:
+    /// the purge pops it, sees the mismatch with the recomputed current
+    /// key, re-pushes the current one, and continues, which converges on
+    /// the exact victim. LRU qualifies (recency only lowers eviction
+    /// priority), as do FIFO and the size policies (read touches don't
+    /// move their intercepts at all). Belady does **not**: a read hit
+    /// advances `next_use` further into the future, raising the
+    /// intercept, so its hits must push eagerly. Only consulted when
+    /// [`MigrationPolicy::affine`] returns `Some`; the default is the
+    /// safe `false`.
+    fn read_touch_monotone(&self) -> bool {
+        false
+    }
+
+    /// True if the policy is *pure recency*: under a monotone clock its
+    /// victim order is exactly "oldest `last_ref` first, ties by
+    /// ascending id" — equivalently, its affine form is slope `1`,
+    /// intercept `−last_ref`, for every file.
+    ///
+    /// This is the strongest contract of the family and unlocks the
+    /// biggest optimization: because `last_ref` is written by **every**
+    /// touch in **every** cache that holds the file, the key stream is
+    /// capacity-independent, and the multi-capacity replay engine
+    /// ([`crate::mrc`]) ranks victims for an entire capacity grid from
+    /// **one** shared append-only touch log with a cursor per capacity —
+    /// no per-capacity heaps, no floating point, O(1) per reference for
+    /// the whole grid. Only LRU among the shipped policies qualifies;
+    /// the default is the safe `false`.
+    fn recency_keyed(&self) -> bool {
         false
     }
 }
@@ -76,6 +173,11 @@ impl MigrationPolicy for Stp {
         let age = (now - file.last_ref).max(0) as f64;
         age.powf(self.exponent) * file.size as f64
     }
+
+    // No affine form: even at exponent 1.0 the priority is
+    // `size·now − size·last_ref`, a *per-file* slope, so pairwise order
+    // drifts with time (a small old file overtakes a large fresh one).
+    // STP replays through the exact rescan.
 }
 
 /// Least-recently-used.
@@ -89,6 +191,23 @@ impl MigrationPolicy for Lru {
 
     fn priority(&self, file: &FileView, now: i64) -> f64 {
         (now - file.last_ref).max(0) as f64
+    }
+
+    fn affine(&self, file: &FileView) -> Option<AffinePriority> {
+        // (now − last_ref) as f64 is exact (both fit in 2^53), so the
+        // order of priorities is the order of −last_ref at every now.
+        Some(AffinePriority {
+            slope: 1.0,
+            intercept: -(file.last_ref as f64),
+        })
+    }
+
+    fn read_touch_monotone(&self) -> bool {
+        true // recency only ever lowers −last_ref
+    }
+
+    fn recency_keyed(&self) -> bool {
+        true // LRU *is* the recency order
     }
 }
 
@@ -104,6 +223,17 @@ impl MigrationPolicy for Fifo {
     fn priority(&self, file: &FileView, now: i64) -> f64 {
         (now - file.created).max(0) as f64
     }
+
+    fn affine(&self, file: &FileView) -> Option<AffinePriority> {
+        Some(AffinePriority {
+            slope: 1.0,
+            intercept: -(file.created as f64),
+        })
+    }
+
+    fn read_touch_monotone(&self) -> bool {
+        true // reads never move the entry time
+    }
 }
 
 /// Migrate the largest files first (frees space fastest).
@@ -118,6 +248,19 @@ impl MigrationPolicy for LargestFirst {
     fn priority(&self, file: &FileView, _now: i64) -> f64 {
         file.size as f64
     }
+
+    fn affine(&self, file: &FileView) -> Option<AffinePriority> {
+        // The intercept *is* the priority, so even the tie introduced by
+        // two >2^53 sizes rounding to one f64 is reproduced exactly.
+        Some(AffinePriority {
+            slope: 0.0,
+            intercept: file.size as f64,
+        })
+    }
+
+    fn read_touch_monotone(&self) -> bool {
+        true // reads never resize the entry
+    }
 }
 
 /// Migrate the smallest files first (a deliberately bad baseline).
@@ -131,6 +274,17 @@ impl MigrationPolicy for SmallestFirst {
 
     fn priority(&self, file: &FileView, _now: i64) -> f64 {
         -(file.size as f64)
+    }
+
+    fn affine(&self, file: &FileView) -> Option<AffinePriority> {
+        Some(AffinePriority {
+            slope: 0.0,
+            intercept: -(file.size as f64),
+        })
+    }
+
+    fn read_touch_monotone(&self) -> bool {
+        true // reads never resize the entry
     }
 }
 
@@ -192,6 +346,18 @@ impl MigrationPolicy for Belady {
 
     fn needs_oracle(&self) -> bool {
         true
+    }
+
+    fn affine(&self, file: &FileView) -> Option<AffinePriority> {
+        // With a consistent oracle a *resident* entry's next_use is never
+        // in the past (the reference at `next_use` would have touched or
+        // reinserted the entry), so the `.max(0)` clamp never engages and
+        // the order of `(next_use − now)` is the order of `next_use`;
+        // never-used-again files carry the same +∞ in both forms.
+        Some(AffinePriority {
+            slope: -1.0,
+            intercept: file.next_use.map_or(f64::INFINITY, |t| t as f64),
+        })
     }
 }
 
@@ -290,6 +456,101 @@ mod tests {
         assert_eq!(a, b);
         let c = p.priority(&file(2, 10, 0, 1), 100);
         assert_ne!(a, c);
+    }
+
+    /// Checks the [`MigrationPolicy::affine`] contract on a set of file
+    /// states: shared slope, and intercept order == priority order
+    /// (ties included) at a few probe times.
+    fn assert_affine_contract(policy: &dyn MigrationPolicy, files: &[FileView]) {
+        let forms: Vec<AffinePriority> = files
+            .iter()
+            .map(|f| policy.affine(f).expect("policy advertises an affine form"))
+            .collect();
+        for w in forms.windows(2) {
+            assert_eq!(
+                w[0].slope.total_cmp(&w[1].slope),
+                std::cmp::Ordering::Equal,
+                "{}: slope must be file-independent",
+                policy.name()
+            );
+        }
+        let latest = files
+            .iter()
+            .map(|f| f.last_ref.max(f.created))
+            .max()
+            .unwrap();
+        for now in [latest, latest + 1, latest + 977, latest + 86_400] {
+            for (a, fa) in forms.iter().zip(files) {
+                for (b, fb) in forms.iter().zip(files) {
+                    assert_eq!(
+                        policy
+                            .priority(fa, now)
+                            .total_cmp(&policy.priority(fb, now)),
+                        a.intercept.total_cmp(&b.intercept),
+                        "{}: affine order diverges at now={now} for {} vs {}",
+                        policy.name(),
+                        fa.id,
+                        fb.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_forms_reproduce_priority_order() {
+        let mut files = vec![
+            file(1, 100, 10, 1),
+            file(2, 100, 10, 3), // ties LRU with id 1
+            file(3, 7, 250, 9),
+            file(4, 1 << 40, 0, 1),
+            file(5, 1 << 40, 99, 2), // ties size policies with id 4
+        ];
+        files[2].created = 50;
+        // Far enough out that every probe time stays before the next use
+        // (the oracle-consistency the Belady affine form assumes).
+        files[3].next_use = Some(1_000_000);
+        files[4].next_use = Some(1_000_001);
+        assert_affine_contract(&Lru, &files);
+        assert_affine_contract(&Fifo, &files);
+        assert_affine_contract(&LargestFirst, &files);
+        assert_affine_contract(&SmallestFirst, &files);
+        // Belady: oracle-consistent next_use (none in the past); two
+        // never-used-again files tie at +inf in both forms.
+        let mut never_a = file(6, 10, 20, 1);
+        let mut never_b = file(7, 10, 30, 1);
+        never_a.next_use = None;
+        never_b.next_use = None;
+        let mut belady_files = files.clone();
+        belady_files.retain(|f| f.next_use.is_some());
+        belady_files.push(never_a);
+        belady_files.push(never_b);
+        assert_affine_contract(&Belady, &belady_files);
+    }
+
+    #[test]
+    fn read_touch_monotonicity_is_declared_correctly() {
+        // A read touch updates last_ref/ref_count/next_use. The flag
+        // promises the affine intercept never rises across such a touch.
+        assert!(Lru.read_touch_monotone());
+        assert!(Fifo.read_touch_monotone());
+        assert!(LargestFirst.read_touch_monotone());
+        assert!(SmallestFirst.read_touch_monotone());
+        // Belady's next_use jumps forward on every hit: intercept rises.
+        assert!(!Belady.read_touch_monotone());
+        // Spot-check the promise for LRU: touching later only lowers it.
+        let before = Lru.affine(&file(1, 10, 100, 1)).unwrap();
+        let after = Lru.affine(&file(1, 10, 500, 2)).unwrap();
+        assert!(after.intercept <= before.intercept);
+    }
+
+    #[test]
+    fn time_bent_policies_decline_the_affine_form() {
+        let f = file(1, 100, 10, 2);
+        assert!(Stp::classic().affine(&f).is_none());
+        assert!(Stp { exponent: 1.0 }.affine(&f).is_none());
+        assert!(Saac.affine(&f).is_none());
+        assert!(RandomEvict { salt: 1 }.affine(&f).is_none());
     }
 
     #[test]

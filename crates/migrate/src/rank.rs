@@ -1,0 +1,330 @@
+//! The incremental victim-ranking structure behind the eviction index:
+//! a monotone queue that self-degrades to a lazy max-heap.
+//!
+//! Affine policies push one key per relevant entry mutation and pop
+//! victims in `(intercept desc, id asc)` order with pop-time
+//! revalidation against live state. Two structural regimes:
+//!
+//! * **Monotone queue.** Policies whose keys never rise over time (LRU
+//!   pushes `−now`, FIFO pushes `−created = −insert time`) emit pushes
+//!   in nonincreasing order, so a plain deque *is* the priority order:
+//!   `push_back` and front pops are O(1) — no sift, no comparisons.
+//!   This is the regime the replay hot path lives in.
+//! * **Lazy max-heap.** The first out-of-order push (Belady's
+//!   `next_use`, size keys) converts the deque into a binary heap in
+//!   one O(n) heapify, and everything continues with O(log n) ops.
+//!
+//! Staleness is resolved when a key surfaces: the caller's `validate`
+//! closure checks the candidate against live state and answers
+//! [`Candidate::Live`] (evict it), [`Candidate::Gone`] (file left the
+//! cache; drop the key), [`Candidate::Moved`] (resident but the key is
+//! a stale overestimate; re-rank at the current, **never higher**,
+//! intercept), or [`Candidate::Abort`] (contract violation; the caller
+//! degrades to the exact rescan). Because every mutation that could
+//! *raise* a key pushes eagerly, a popped maximum is always an upper
+//! bound, and deflating stale keys until a live one surfaces yields the
+//! exact `(priority desc, id asc)` victim order the sort-based rescan
+//! would produce — ties included, since tied keys are compared by id
+//! before any is returned.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One ranked key: a file's affine intercept at push time plus the
+/// caller's payload (e.g. a dense file index). Ordered by
+/// `(intercept, id desc)` so that a max-structure pops
+/// `(intercept desc, id asc)`; the payload never participates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RankKey<P> {
+    pub intercept: f64,
+    pub id: u64,
+    pub payload: P,
+}
+
+impl<P> Ord for RankKey<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.intercept
+            .total_cmp(&other.intercept)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl<P> PartialOrd for RankKey<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> PartialEq for RankKey<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<P> Eq for RankKey<P> {}
+
+/// The caller's verdict on a candidate key surfacing from the rank.
+pub(crate) enum Candidate {
+    /// Still resident and the key matches the current intercept bits:
+    /// this is the next victim.
+    Live,
+    /// Not resident any more: discard the key.
+    Gone,
+    /// Resident, but the key is stale. The argument is the *current*
+    /// intercept, which must never exceed the popped key (raising
+    /// mutations push eagerly); the rank re-files it and keeps looking.
+    Moved(f64),
+    /// The policy broke its affine contract: stop, the caller falls
+    /// back to the exact rescan.
+    Abort,
+}
+
+/// Result of one victim search.
+pub(crate) enum Popped<P> {
+    /// The exact next victim in `(priority desc, id asc)` order.
+    Victim(RankKey<P>),
+    /// No resident keys remain.
+    Dry,
+    /// `validate` answered [`Candidate::Abort`].
+    Aborted,
+}
+
+/// Monotone queue / lazy heap hybrid; see the module docs.
+#[derive(Debug)]
+pub(crate) struct VictimRank<P> {
+    /// Monotone regime: sorted nonincreasing by intercept, ties
+    /// contiguous (id order resolved at pop time).
+    queue: VecDeque<RankKey<P>>,
+    /// Heap regime, entered on the first out-of-order push.
+    heap: BinaryHeap<RankKey<P>>,
+    monotone: bool,
+}
+
+impl<P: Copy> VictimRank<P> {
+    /// Builds a rank from an arbitrary key set (index activation and
+    /// compaction): sorts once and starts in the monotone regime.
+    pub fn from_keys(mut keys: Vec<RankKey<P>>) -> Self {
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        VictimRank {
+            queue: keys.into(),
+            heap: BinaryHeap::new(),
+            monotone: true,
+        }
+    }
+
+    /// Keys currently held, stale ones included — the caller's
+    /// compaction trigger compares this against its live count.
+    pub fn len(&self) -> usize {
+        self.queue.len() + self.heap.len()
+    }
+
+    /// Records a (possibly updated) key for `id`.
+    pub fn push(&mut self, key: RankKey<P>) {
+        if self.monotone {
+            match self.queue.back() {
+                Some(back) if key.intercept.total_cmp(&back.intercept) == Ordering::Greater => {
+                    // First out-of-order push: one O(n) heapify, then
+                    // stay in the heap regime.
+                    self.heap = std::mem::take(&mut self.queue).into_iter().collect();
+                    self.monotone = false;
+                    self.heap.push(key);
+                }
+                _ => self.queue.push_back(key),
+            }
+        } else {
+            self.heap.push(key);
+        }
+    }
+
+    /// Re-files a deflated key at its sorted position (monotone regime
+    /// only). Stale keys deflate toward the *front* region of equal or
+    /// older intercepts, so the shift is short in practice.
+    fn sorted_insert(&mut self, key: RankKey<P>) {
+        let pos = self
+            .queue
+            .partition_point(|k| k.intercept.total_cmp(&key.intercept) == Ordering::Greater);
+        self.queue.insert(pos, key);
+    }
+
+    /// Pops the exact next victim, resolving staleness through
+    /// `validate`; see [`Candidate`].
+    pub fn pop_best(&mut self, mut validate: impl FnMut(&RankKey<P>) -> Candidate) -> Popped<P> {
+        if !self.monotone {
+            while let Some(top) = self.heap.pop() {
+                match validate(&top) {
+                    Candidate::Live => return Popped::Victim(top),
+                    Candidate::Gone => {}
+                    Candidate::Moved(current) => self.heap.push(RankKey {
+                        intercept: current,
+                        ..top
+                    }),
+                    Candidate::Abort => return Popped::Aborted,
+                }
+            }
+            return Popped::Dry;
+        }
+        loop {
+            let Some(front) = self.queue.front() else {
+                return Popped::Dry;
+            };
+            let bits = front.intercept.to_bits();
+            // Fast path: a lone front key (no intercept tie behind it).
+            let tied = self
+                .queue
+                .get(1)
+                .is_some_and(|k| k.intercept.to_bits() == bits);
+            if !tied {
+                let key = self.queue.pop_front().expect("front exists");
+                match validate(&key) {
+                    Candidate::Live => return Popped::Victim(key),
+                    Candidate::Gone => continue,
+                    Candidate::Moved(current) => {
+                        self.sorted_insert(RankKey {
+                            intercept: current,
+                            ..key
+                        });
+                        continue;
+                    }
+                    Candidate::Abort => return Popped::Aborted,
+                }
+            }
+            // Tie group: the oracle breaks intercept ties by ascending
+            // id, so the whole group must be inspected before any
+            // member is returned. Survivors keep their (equal) rank;
+            // deflated keys re-file behind the group.
+            let mut best: Option<RankKey<P>> = None;
+            let mut survivors: Vec<RankKey<P>> = Vec::new();
+            let mut moved: Vec<RankKey<P>> = Vec::new();
+            while let Some(k) = self.queue.front() {
+                if k.intercept.to_bits() != bits {
+                    break;
+                }
+                let key = self.queue.pop_front().expect("front exists");
+                match validate(&key) {
+                    Candidate::Live => match &mut best {
+                        Some(b) if b.id <= key.id => survivors.push(key),
+                        _ => {
+                            if let Some(prev) = best.replace(key) {
+                                survivors.push(prev);
+                            }
+                        }
+                    },
+                    Candidate::Gone => {}
+                    Candidate::Moved(current) => moved.push(RankKey {
+                        intercept: current,
+                        ..key
+                    }),
+                    Candidate::Abort => return Popped::Aborted,
+                }
+            }
+            for key in survivors.into_iter().rev() {
+                self.queue.push_front(key);
+            }
+            for key in moved {
+                self.sorted_insert(key);
+            }
+            if let Some(best) = best {
+                return Popped::Victim(best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(intercept: f64, id: u64) -> RankKey<()> {
+        RankKey {
+            intercept,
+            id,
+            payload: (),
+        }
+    }
+
+    /// Pops everything, validating against a "current" table: ids
+    /// absent are Gone, ids whose value differs are Moved.
+    fn drain(rank: &mut VictimRank<()>, current: &mut Vec<(u64, f64)>) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            let popped = rank.pop_best(|k| match current.iter().find(|(id, _)| *id == k.id) {
+                None => Candidate::Gone,
+                Some(&(_, v)) if v.to_bits() == k.intercept.to_bits() => Candidate::Live,
+                Some(&(_, v)) => Candidate::Moved(v),
+            });
+            match popped {
+                Popped::Victim(k) => {
+                    current.retain(|(id, _)| *id != k.id);
+                    out.push(k.id);
+                }
+                Popped::Dry => return out,
+                Popped::Aborted => panic!("no abort in this test"),
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_pushes_pop_in_priority_order_with_id_ties() {
+        let mut rank = VictimRank::from_keys(Vec::new());
+        // Nonincreasing pushes, with an intercept tie (ids 7 and 3).
+        for (v, id) in [(9.0, 1), (5.0, 7), (5.0, 3), (2.0, 2)] {
+            rank.push(key(v, id));
+        }
+        assert!(rank.monotone);
+        let mut current = vec![(1, 9.0), (7, 5.0), (3, 5.0), (2, 2.0)];
+        assert_eq!(drain(&mut rank, &mut current), [1, 3, 7, 2]);
+    }
+
+    #[test]
+    fn out_of_order_push_degrades_to_heap_and_stays_exact() {
+        let mut rank = VictimRank::from_keys(Vec::new());
+        rank.push(key(5.0, 1));
+        rank.push(key(9.0, 2)); // violates monotonicity
+        assert!(!rank.monotone);
+        rank.push(key(7.0, 3));
+        let mut current = vec![(1, 5.0), (2, 9.0), (3, 7.0)];
+        assert_eq!(drain(&mut rank, &mut current), [2, 3, 1]);
+    }
+
+    #[test]
+    fn stale_keys_deflate_and_refile() {
+        let mut rank = VictimRank::from_keys(Vec::new());
+        rank.push(key(9.0, 1));
+        rank.push(key(8.0, 2));
+        // id 1 was touched since: its live value is now 3.0, so id 2
+        // must pop first, then the deflated id 1.
+        let mut current = vec![(1, 3.0), (2, 8.0)];
+        assert_eq!(drain(&mut rank, &mut current), [2, 1]);
+    }
+
+    #[test]
+    fn gone_and_duplicate_keys_are_skipped() {
+        let mut rank = VictimRank::from_keys(Vec::new());
+        rank.push(key(9.0, 1));
+        rank.push(key(9.0, 1)); // duplicate push, same value
+        rank.push(key(4.0, 2));
+        let mut current = vec![(1, 9.0), (2, 4.0)];
+        assert_eq!(drain(&mut rank, &mut current), [1, 2]);
+    }
+
+    #[test]
+    fn from_keys_sorts_and_restores_the_monotone_regime() {
+        let rank: VictimRank<()> =
+            VictimRank::from_keys(vec![key(1.0, 9), key(7.0, 2), key(4.0, 5)]);
+        assert!(rank.monotone);
+        assert_eq!(rank.len(), 3);
+        let mut rank = rank;
+        let mut current = vec![(9, 1.0), (2, 7.0), (5, 4.0)];
+        assert_eq!(drain(&mut rank, &mut current), [2, 5, 9]);
+    }
+
+    #[test]
+    fn abort_propagates() {
+        let mut rank = VictimRank::from_keys(Vec::new());
+        rank.push(key(1.0, 1));
+        match rank.pop_best(|_| Candidate::Abort) {
+            Popped::Aborted => {}
+            _ => panic!("expected abort"),
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Exactness properties of the replay hot path's two new engines:
+//!
+//! * the single-pass miss-ratio-curve engine (`fmig_migrate::mrc`) must
+//!   reproduce per-capacity naive replay **bit-identically** — same
+//!   counters, hence same miss ratios and byte miss ratios — for every
+//!   shipped policy and any capacity grid;
+//! * the incremental eviction index must produce the **identical victim
+//!   sequence** to the sort-based rescan oracle: same `CacheOp` stream,
+//!   same counters, same survivors.
+//!
+//! Traces are random but well-formed: times never decrease and
+//! `next_use` comes from a real reverse sweep, the invariants every
+//! replay in this workspace provides (and the affine forms assume).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use fmig_migrate::cache::{CacheConfig, CacheOp, DiskCache, EvictionMode};
+use fmig_migrate::eval::{EvalConfig, PreparedRef};
+use fmig_migrate::mrc::{sweep_capacities, sweep_capacities_naive};
+use fmig_migrate::policy::{standard_suite, Belady, MigrationPolicy};
+use fmig_trace::DeviceClass;
+
+/// One raw reference: (write?, file id, size, time step).
+type Spec = (bool, u64, u64, i64);
+
+fn arb_specs() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            0u64..40,
+            1u64..600_000,
+            0i64..400, // occasional zero steps: equal-timestamp ties
+        ),
+        20..220,
+    )
+}
+
+/// Turns raw specs into a prepared reference stream: monotone times and
+/// an oracle-consistent `next_use` reverse sweep (what `TracePrep`
+/// would have produced).
+fn build_refs(specs: &[Spec]) -> Vec<PreparedRef> {
+    let mut t = 0i64;
+    let mut refs: Vec<PreparedRef> = specs
+        .iter()
+        .map(|&(write, id, size, dt)| {
+            t += dt;
+            PreparedRef {
+                id,
+                size,
+                write,
+                time: t,
+                next_use: None,
+                device: DeviceClass::Disk,
+            }
+        })
+        .collect();
+    let mut next_seen: HashMap<u64, i64> = HashMap::new();
+    for r in refs.iter_mut().rev() {
+        r.next_use = next_seen.get(&r.id).copied();
+        next_seen.insert(r.id, r.time);
+    }
+    refs
+}
+
+/// Every shipped policy, clairvoyant bound included.
+fn all_policies() -> Vec<Box<dyn MigrationPolicy>> {
+    let mut policies = standard_suite();
+    policies.push(Box::new(Belady));
+    policies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fused single-pass curve equals one naive full replay per
+    /// capacity, exactly, for every shipped policy on a random grid.
+    #[test]
+    fn mrc_single_pass_equals_per_capacity_replay(
+        specs in arb_specs(),
+        grid in proptest::collection::vec(1u64..100, 2..6),
+    ) {
+        let refs = build_refs(&specs);
+        let total: u64 = refs.iter().map(|r| r.size).sum();
+        // Grid points span "almost nothing fits" to "everything fits".
+        let capacities: Vec<u64> = grid
+            .iter()
+            .map(|&pct| (total * pct / 100).max(1))
+            .collect();
+        let base = EvalConfig::with_capacity(0);
+        for policy in all_policies() {
+            let fused = sweep_capacities(&refs, policy.as_ref(), &capacities, &base);
+            let naive = sweep_capacities_naive(&refs, policy.as_ref(), &capacities, &base);
+            prop_assert!(fused == naive, "{} diverged", policy.name());
+            for point in &fused.points {
+                prop_assert!((0.0..=1.0).contains(&point.miss_ratio()));
+                prop_assert!((0.0..=1.0).contains(&point.byte_miss_ratio()));
+            }
+        }
+    }
+
+    /// The incremental eviction index replays the identical victim
+    /// sequence to the sort-based rescan oracle: the full `CacheOp`
+    /// stream (which spells out every victim, in order, with its stall
+    /// classification), the counters, and the survivor set all match.
+    #[test]
+    fn eviction_index_matches_sort_oracle_victim_sequence(
+        specs in arb_specs(),
+        capacity_pct in 2u64..40,
+    ) {
+        let refs = build_refs(&specs);
+        let total: u64 = refs.iter().map(|r| r.size).sum();
+        let config = CacheConfig {
+            capacity: (total * capacity_pct / 100).max(1),
+            high_watermark: 0.9,
+            low_watermark: 0.6,
+            eager_writeback: false, // dirty evictions: ops carry stalls
+        };
+        for policy in all_policies() {
+            let mut indexed =
+                DiskCache::with_eviction_mode(config, policy.as_ref(), EvictionMode::Indexed);
+            let mut rescan =
+                DiskCache::with_eviction_mode(config, policy.as_ref(), EvictionMode::Rescan);
+            let mut indexed_ops: Vec<CacheOp> = Vec::new();
+            let mut rescan_ops: Vec<CacheOp> = Vec::new();
+            for r in &refs {
+                if r.write {
+                    indexed.write_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        indexed_ops.push(op)
+                    });
+                    rescan.write_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        rescan_ops.push(op)
+                    });
+                } else {
+                    let a = indexed.read_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        indexed_ops.push(op)
+                    });
+                    let b = rescan.read_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        rescan_ops.push(op)
+                    });
+                    prop_assert!(a == b, "{}: read result diverged", policy.name());
+                    indexed.fetch_complete(r.id);
+                    rescan.fetch_complete(r.id);
+                }
+            }
+            prop_assert!(
+                indexed_ops == rescan_ops,
+                "{}: victim sequences diverged",
+                policy.name()
+            );
+            prop_assert_eq!(indexed.stats(), rescan.stats());
+            for r in &refs {
+                prop_assert_eq!(indexed.contains(r.id), rescan.contains(r.id));
+            }
+        }
+    }
+}
