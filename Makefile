@@ -3,15 +3,24 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt lint bench doc examples bench-track clean
+.PHONY: ci build test test-matrix fmt lint bench doc examples bench-track clean
 
-ci: build test fmt lint bench doc examples bench-track
+ci: build test test-matrix fmt lint bench doc examples bench-track
 
 build:
 	$(CARGO) build --release --workspace --all-targets
 
 test:
 	$(CARGO) test --workspace -q
+
+# The property-test matrix: the regression corpus (tests/corpus/) replays
+# in every leg, then random sampling runs at two extra case budgets and
+# stream seeds on top of the default `make test` leg. PROPTEST_CASES
+# overrides the default per-property budget; FMIG_PROPTEST_SEED re-derives
+# every property's RNG stream (corpus replay ignores both by design).
+test-matrix:
+	PROPTEST_CASES=128 FMIG_PROPTEST_SEED=20260729 $(CARGO) test --workspace -q
+	PROPTEST_CASES=32 FMIG_PROPTEST_SEED=424242 $(CARGO) test --workspace -q
 
 fmt:
 	$(CARGO) fmt --all --check

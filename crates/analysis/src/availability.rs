@@ -1,0 +1,221 @@
+//! Availability / degraded-mode analysis: what a fault scenario did to
+//! user-visible service.
+//!
+//! The paper's NCAR environment lived with operator-mounted tapes,
+//! drive contention, and multi-minute recall stalls; the closed-loop
+//! hierarchy engine (`fmig-sim`) can now inject exactly those failure
+//! modes deterministically. This module turns its per-run degraded
+//! measurements into the comparative report an operator would read:
+//! one row per (policy, scenario) with retry counts, outage-attributed
+//! wait, and the tail under faults, plus derived availability figures
+//! (retry rate, degraded-tail blowup against the healthy twin).
+//!
+//! The module is numbers-in/numbers-out on purpose — it does not
+//! depend on the simulator or the policy crates, so it can score
+//! externally collected degraded-mode measurements the same way the
+//! rest of `fmig-analysis` scores external traces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+
+/// One (policy × fault scenario) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityRow {
+    /// Policy (or system variant) the cell ran.
+    pub policy: String,
+    /// Fault scenario label (`"none"` for the healthy baseline).
+    pub scenario: String,
+    /// Tape recalls issued.
+    pub recalls: u64,
+    /// Recall attempts that failed and were retried.
+    pub read_retries: u64,
+    /// Outage windows that parked a unit during the run.
+    pub outage_events: u64,
+    /// Queue wait attributable to parked hardware, seconds.
+    pub outage_wait_s: f64,
+    /// Mean first-byte read wait, seconds.
+    pub mean_read_wait_s: f64,
+    /// 99th-percentile first-byte read wait, seconds.
+    pub p99_read_wait_s: f64,
+}
+
+impl AvailabilityRow {
+    /// Failed attempts per issued recall (0 when nothing was recalled).
+    pub fn retry_rate(&self) -> f64 {
+        if self.recalls == 0 {
+            0.0
+        } else {
+            self.read_retries as f64 / self.recalls as f64
+        }
+    }
+}
+
+/// The degraded-mode comparison table: rows keyed by (policy,
+/// scenario), rendered with each fault row's tail blowup relative to
+/// the policy's healthy baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    rows: Vec<AvailabilityRow>,
+}
+
+impl AvailabilityReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one measurement row.
+    pub fn push(&mut self, row: AvailabilityRow) {
+        self.rows.push(row);
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[AvailabilityRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no measurement has been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A policy's healthy (`"none"`-scenario) row, if present.
+    pub fn baseline(&self, policy: &str) -> Option<&AvailabilityRow> {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy && r.scenario == "none")
+    }
+
+    /// p99-under-faults divided by the healthy p99 for one row — the
+    /// degraded-tail blowup. 1.0 when no baseline exists or either tail
+    /// is zero (nothing sensible to compare).
+    pub fn tail_blowup(&self, row: &AvailabilityRow) -> f64 {
+        match self.baseline(&row.policy) {
+            Some(base) if base.p99_read_wait_s > 0.0 && row.p99_read_wait_s > 0.0 => {
+                row.p99_read_wait_s / base.p99_read_wait_s
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The most robust policy under `scenario`: lowest p99 read wait
+    /// among that scenario's rows; ties go to insertion order.
+    pub fn most_robust(&self, scenario: &str) -> Option<&AvailabilityRow> {
+        self.rows.iter().filter(|r| r.scenario == scenario).fold(
+            None,
+            |acc: Option<&AvailabilityRow>, r| match acc {
+                Some(best) if best.p99_read_wait_s <= r.p99_read_wait_s => Some(best),
+                _ => Some(r),
+            },
+        )
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "policy",
+            "scenario",
+            "recalls",
+            "retries",
+            "retry rate",
+            "outages",
+            "outage wait (s)",
+            "mean wait (s)",
+            "p99 (s)",
+            "tail blowup",
+        ]);
+        for row in &self.rows {
+            t.row([
+                row.policy.clone(),
+                row.scenario.clone(),
+                row.recalls.to_string(),
+                row.read_retries.to_string(),
+                format!("{:.3}", row.retry_rate()),
+                row.outage_events.to_string(),
+                format!("{:.0}", row.outage_wait_s),
+                format!("{:.1}", row.mean_read_wait_s),
+                format!("{:.1}", row.p99_read_wait_s),
+                format!("{:.2}x", self.tail_blowup(row)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(policy: &str, scenario: &str, p99: f64) -> AvailabilityRow {
+        AvailabilityRow {
+            policy: policy.into(),
+            scenario: scenario.into(),
+            recalls: 100,
+            read_retries: if scenario == "none" { 0 } else { 12 },
+            outage_events: if scenario == "none" { 0 } else { 3 },
+            outage_wait_s: if scenario == "none" { 0.0 } else { 640.0 },
+            mean_read_wait_s: p99 / 4.0,
+            p99_read_wait_s: p99,
+        }
+    }
+
+    #[test]
+    fn retry_rate_and_baseline_lookup() {
+        let mut report = AvailabilityReport::new();
+        assert!(report.is_empty());
+        report.push(row("lru", "none", 200.0));
+        report.push(row("lru", "degraded-peak", 500.0));
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.rows()[1].retry_rate(), 0.12);
+        assert_eq!(report.baseline("lru").unwrap().p99_read_wait_s, 200.0);
+        assert!(report.baseline("stp1.4").is_none());
+        let zero = AvailabilityRow {
+            recalls: 0,
+            ..row("x", "none", 1.0)
+        };
+        assert_eq!(zero.retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn tail_blowup_compares_against_the_healthy_twin() {
+        let mut report = AvailabilityReport::new();
+        report.push(row("lru", "none", 200.0));
+        report.push(row("lru", "degraded-peak", 500.0));
+        report.push(row("stp1.4", "degraded-peak", 300.0));
+        let degraded = &report.rows()[1];
+        assert!((report.tail_blowup(degraded) - 2.5).abs() < 1e-12);
+        // No healthy twin for stp1.4: blowup degrades to 1.0.
+        let orphan = &report.rows()[2];
+        assert_eq!(report.tail_blowup(orphan), 1.0);
+    }
+
+    #[test]
+    fn most_robust_picks_the_lowest_degraded_tail() {
+        let mut report = AvailabilityReport::new();
+        report.push(row("lru", "degraded-peak", 500.0));
+        report.push(row("stp1.4", "degraded-peak", 300.0));
+        report.push(row("fifo", "degraded-peak", 300.0));
+        let best = report.most_robust("degraded-peak").unwrap();
+        // Lowest tail; insertion order breaks the tie.
+        assert_eq!(best.policy, "stp1.4");
+        assert!(report.most_robust("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn render_carries_the_degraded_columns() {
+        let mut report = AvailabilityReport::new();
+        report.push(row("lru", "none", 200.0));
+        report.push(row("lru", "flaky-reads", 420.0));
+        let text = report.render();
+        assert!(text.contains("retry rate"));
+        assert!(text.contains("tail blowup"));
+        assert!(text.contains("flaky-reads"));
+        assert!(text.contains("2.10x"));
+    }
+}

@@ -20,7 +20,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fmig_core::{experiment_ids, run_experiment, run_sweep, Study, StudyConfig, SweepConfig};
+use fmig_core::{
+    experiment_ids, run_experiment, run_sweep, FaultScenarioId, Study, StudyConfig, SweepConfig,
+};
 use fmig_migrate::eval::{EvalConfig, TracePrep};
 use fmig_migrate::policy::Lru;
 use fmig_workload::Workload;
@@ -69,9 +71,16 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     format!(
         "usage: repro [--scale S] [--seed N] [--no-sim] <experiment>|all|list\n\
-         \x20      repro sweep [--preset tiny|small] [--workers N] [--seed N] [--latency] [--out PATH]\n\
-         experiments: {}\n",
-        experiment_ids().join(" ")
+         \x20      repro sweep [--preset tiny|small] [--workers N] [--seed N] [--latency]\n\
+         \x20                  [--faults S1,S2,...] [--out PATH]\n\
+         experiments: {}\n\
+         fault scenarios: {}\n",
+        experiment_ids().join(" "),
+        FaultScenarioId::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(" ")
     )
 }
 
@@ -94,6 +103,7 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let mut workers = 0usize;
     let mut seed: Option<u64> = None;
     let mut latency = false;
+    let mut faults: Option<Vec<FaultScenarioId>> = None;
     let mut out = "BENCH_sweep.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -108,6 +118,17 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
                 seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
             }
             "--latency" => latency = true,
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a comma-separated list")?;
+                let parsed: Result<Vec<FaultScenarioId>, String> = v
+                    .split(',')
+                    .map(|s| {
+                        FaultScenarioId::parse(s.trim())
+                            .ok_or_else(|| format!("unknown fault scenario `{s}`"))
+                    })
+                    .collect();
+                faults = Some(parsed?);
+            }
             "--out" => out = it.next().ok_or("--out needs a value")?.clone(),
             other => return Err(format!("unknown sweep flag `{other}`")),
         }
@@ -121,14 +142,23 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     if let Some(s) = seed {
         config.base_seed = s;
     }
+    if let Some(f) = faults {
+        config.faults = f;
+    }
 
     let calibration_ms = calibrate_ms();
     eprintln!(
-        "sweep: preset {preset}, {} cells in {} shards, workers {} (0 = auto), latency {}, calibration {calibration_ms:.1} ms",
+        "sweep: preset {preset}, {} cells in {} shards, workers {} (0 = auto), latency {}, faults [{}], calibration {calibration_ms:.1} ms",
         config.cell_count(),
         config.shard_count(),
         config.workers,
         if latency { "on" } else { "off" },
+        config
+            .fault_axis()
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(","),
     );
     // Repeat the sweep until a time budget fills and keep the fastest
     // run: a single tiny-matrix execution is milliseconds, far inside

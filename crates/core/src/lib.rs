@@ -38,7 +38,8 @@ pub use experiments::{experiment_ids, run_experiment, ExperimentResult};
 pub use runner::run_sweep;
 pub use study::{Study, StudyConfig, StudyOutput};
 pub use sweep::{
-    CellResult, PaperDelta, PolicyId, PresetId, ShardReport, SweepConfig, SweepReport, Winner,
+    CellResult, FaultScenarioId, PaperDelta, PolicyId, PresetId, ShardReport, SweepConfig,
+    SweepReport, Winner,
 };
 
 pub use fmig_analysis as analysis;

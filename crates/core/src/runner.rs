@@ -31,7 +31,9 @@ use fmig_sim::{HierarchySimulator, MssSimulator, SimConfig};
 use fmig_trace::Direction;
 use fmig_workload::{PaperTargets, Workload};
 
-use crate::sweep::{CellResult, PaperDelta, ShardReport, SweepConfig, SweepReport};
+use crate::sweep::{
+    CellResult, FaultScenarioId, PaperDelta, ShardReport, SweepConfig, SweepReport,
+};
 
 /// Expands the matrix and runs every cell; see the module docs.
 ///
@@ -79,6 +81,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         base_seed: config.base_seed,
         simulated_devices: config.simulate_devices,
         latency_mode: config.latency,
+        fault_scenarios: config.fault_axis(),
         shards,
         winners: Vec::new(),
     };
@@ -131,58 +134,76 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
         .iter()
         .map(|&fraction| ((referenced_bytes as f64 * fraction) as u64).max(1))
         .collect();
-    let mut cells = Vec::with_capacity(config.cache_fractions.len() * config.policies.len());
-    if config.latency {
-        // Latency mode sends every cell through the closed-loop
-        // hierarchy engine: same cache decisions as open-loop replay
-        // (the engine drives the identical DiskCache call sequence),
-        // plus measured wait distributions and person-minutes derived
-        // from the cell's own mean miss wait. Feedback is per-cell, so
-        // cells cannot share a pass here.
-        for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
-            let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
-            for (policy_idx, policy) in config.policies.iter().enumerate() {
-                let cell_seed = config.cell_sim_seed(preset_idx, scale_idx, cache_idx, policy_idx);
-                let hierarchy = HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
-                let outcome = hierarchy.evaluate(&prepared, policy.build().as_ref(), &eval_config);
-                cells.push(CellResult {
-                    policy: *policy,
-                    cache_fraction: fraction,
-                    capacity_bytes: capacities[cache_idx],
-                    miss_ratio: outcome.miss_ratio,
-                    byte_miss_ratio: outcome.byte_miss_ratio,
-                    person_minutes_per_day: outcome.person_minutes_per_day,
-                    latency: outcome.latency,
-                });
+    let faults = config.fault_axis();
+    let mut cells =
+        Vec::with_capacity(faults.len() * config.cache_fractions.len() * config.policies.len());
+    // Open-loop miss-ratio curves are shared by every healthy
+    // open-loop cell of a policy (bit-identical to per-cell replay,
+    // see fmig_migrate::mrc) and computed at most once per shard.
+    let mut curves: Option<Vec<_>> = None;
+    for (fault_idx, &scenario) in faults.iter().enumerate() {
+        // Fault scenarios are inherently closed-loop — the faults live
+        // in the device model — so their cells run the hierarchy engine
+        // even when the latency flag is off. Healthy cells follow the
+        // flag, exactly as before the fault axis existed.
+        let closed_loop = config.latency || scenario != FaultScenarioId::None;
+        if closed_loop {
+            let plan = scenario.plan();
+            for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
+                let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
+                for (policy_idx, policy) in config.policies.iter().enumerate() {
+                    let cell_seed = config.cell_fault_seed(
+                        preset_idx, scale_idx, cache_idx, policy_idx, fault_idx, scenario,
+                    );
+                    let hierarchy =
+                        HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
+                    let outcome = hierarchy.evaluate_with_faults(
+                        &prepared,
+                        policy.build().as_ref(),
+                        &eval_config,
+                        &plan,
+                    );
+                    cells.push(CellResult {
+                        policy: *policy,
+                        fault: scenario,
+                        cache_fraction: fraction,
+                        capacity_bytes: capacities[cache_idx],
+                        miss_ratio: outcome.miss_ratio,
+                        byte_miss_ratio: outcome.byte_miss_ratio,
+                        person_minutes_per_day: outcome.person_minutes_per_day,
+                        latency: outcome.latency,
+                    });
+                }
             }
-        }
-    } else {
-        // Open loop: all cache_fraction cells of one policy share a
-        // single-pass miss-ratio curve over the shard's trace — results
-        // are bit-identical to per-cell replay (see fmig_migrate::mrc),
-        // only the trace walks collapse.
-        let base = EvalConfig::with_capacity(0);
-        let curves: Vec<_> = config
-            .policies
-            .iter()
-            .map(|policy| prepared.miss_ratio_curve(policy.build().as_ref(), &capacities, &base))
-            .collect();
-        for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
-            let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
-            for (policy_idx, policy) in config.policies.iter().enumerate() {
-                let point = &curves[policy_idx].points[cache_idx];
-                cells.push(CellResult {
-                    policy: *policy,
-                    cache_fraction: fraction,
-                    capacity_bytes: capacities[cache_idx],
-                    miss_ratio: point.miss_ratio(),
-                    byte_miss_ratio: point.byte_miss_ratio(),
-                    person_minutes_per_day: point.stats.person_minutes_per_day(
-                        eval_config.wait_s_per_miss,
-                        eval_config.trace_days,
-                    ),
-                    latency: None,
-                });
+        } else {
+            let base = EvalConfig::with_capacity(0);
+            let curves = curves.get_or_insert_with(|| {
+                config
+                    .policies
+                    .iter()
+                    .map(|policy| {
+                        prepared.miss_ratio_curve(policy.build().as_ref(), &capacities, &base)
+                    })
+                    .collect()
+            });
+            for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
+                let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
+                for (policy_idx, policy) in config.policies.iter().enumerate() {
+                    let point = &curves[policy_idx].points[cache_idx];
+                    cells.push(CellResult {
+                        policy: *policy,
+                        fault: scenario,
+                        cache_fraction: fraction,
+                        capacity_bytes: capacities[cache_idx],
+                        miss_ratio: point.miss_ratio(),
+                        byte_miss_ratio: point.byte_miss_ratio(),
+                        person_minutes_per_day: point.stats.person_minutes_per_day(
+                            eval_config.wait_s_per_miss,
+                            eval_config.trace_days,
+                        ),
+                        latency: None,
+                    });
+                }
             }
         }
     }
@@ -259,7 +280,8 @@ mod tests {
         let report = run_sweep(&SweepConfig::tiny());
         assert_eq!(report.shards.len(), 1);
         let shard = &report.shards[0];
-        assert_eq!(shard.cells.len(), 3);
+        // Three policies × (healthy + degraded-peak).
+        assert_eq!(shard.cells.len(), 6);
         assert!(shard.records > 0);
         assert!(shard.files > 0);
         assert!(
@@ -267,7 +289,8 @@ mod tests {
             "simulation annotated reads"
         );
         assert_eq!(report.winners.len(), 1);
-        // Belady bounds every practical policy on the shared trace.
+        // Belady bounds every practical policy on the shared trace —
+        // under faults too, since faults never change cache decisions.
         let belady = shard
             .cells
             .iter()
@@ -281,6 +304,31 @@ mod tests {
             );
         }
         assert_ne!(report.winners[0].practical, Some(PolicyId::Belady));
+        // The fault-scenario cells measured a degraded world.
+        let degraded: Vec<_> = shard
+            .cells
+            .iter()
+            .filter(|c| c.fault == FaultScenarioId::DegradedPeak)
+            .collect();
+        assert_eq!(degraded.len(), 3);
+        for cell in degraded.iter() {
+            let lat = cell.latency.expect("fault cells are closed-loop");
+            let d = lat.degraded.expect("fault cells carry attribution");
+            assert!(
+                d.read_retries + d.outage_events + d.slow_transfers > 0,
+                "the compound scenario must actually bite"
+            );
+            // Same trace, same decisions: miss ratio equals the healthy
+            // twin's.
+            let healthy = shard
+                .cells
+                .iter()
+                .find(|h| h.fault == FaultScenarioId::None && h.policy == cell.policy)
+                .expect("healthy twin");
+            assert_eq!(healthy.miss_ratio, cell.miss_ratio);
+            assert!(healthy.latency.is_none(), "healthy cells follow the flag");
+        }
+        assert!(report.winners[0].by_degraded_p99.is_some());
     }
 
     #[test]
@@ -301,6 +349,7 @@ mod tests {
     fn latency_mode_reproduces_open_loop_miss_ratios() {
         let mut open = SweepConfig::tiny();
         open.simulate_devices = false;
+        open.faults = vec![FaultScenarioId::None];
         let mut closed = open.clone();
         closed.latency = true;
         let a = run_sweep(&open);
@@ -330,6 +379,7 @@ mod tests {
         // end-to-end check of the collapse.
         let mut open = SweepConfig::tiny();
         open.simulate_devices = false;
+        open.faults = vec![FaultScenarioId::None];
         open.cache_fractions = vec![0.005, 0.015, 0.05];
         let mut closed = open.clone();
         closed.latency = true;

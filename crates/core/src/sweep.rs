@@ -24,6 +24,7 @@ use fmig_migrate::eval::LatencyOutcome;
 use fmig_migrate::policy::{
     Belady, Fifo, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac, SmallestFirst, Stp,
 };
+use fmig_sim::fault::{FaultPlan, FaultTarget, OutageClause, SlowDriveClause};
 use fmig_workload::WorkloadConfig;
 use serde::{Deserialize, Serialize};
 
@@ -180,7 +181,104 @@ impl PresetId {
     }
 }
 
-/// The scenario matrix: every combination of the four axes is one cell.
+/// A named degraded-mode scenario for the fault axis: a stable
+/// identifier (JSON / CLI) mapping to a concrete [`FaultPlan`].
+///
+/// Scenarios are *descriptions*; the concrete outage windows and
+/// read-error decisions derive from each cell's seed, so the same
+/// matrix always degrades the same way. `None` is the healthy system —
+/// a matrix whose fault axis is `[None]` (the default) produces
+/// byte-identical reports to the pre-fault engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScenarioId {
+    /// No faults: the healthy hierarchy.
+    None,
+    /// Media read errors on recalls with bounded retry — the classic
+    /// "dirty heads" week.
+    FlakyReads,
+    /// Drive failures with multi-hour repair windows on both tape
+    /// tiers.
+    DriveCrunch,
+    /// Mounter outages: operator shifts go unstaffed, the robot arm
+    /// sees occasional maintenance.
+    OperatorStrike,
+    /// The compound worst case: read errors, silo drive failures, and
+    /// slow-drive degradation windows at once.
+    DegradedPeak,
+}
+
+impl FaultScenarioId {
+    /// Every scenario, in report order.
+    pub const ALL: [FaultScenarioId; 5] = [
+        FaultScenarioId::None,
+        FaultScenarioId::FlakyReads,
+        FaultScenarioId::DriveCrunch,
+        FaultScenarioId::OperatorStrike,
+        FaultScenarioId::DegradedPeak,
+    ];
+
+    /// The stable identifier used in JSON reports and on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenarioId::None => "none",
+            FaultScenarioId::FlakyReads => "flaky-reads",
+            FaultScenarioId::DriveCrunch => "drive-crunch",
+            FaultScenarioId::OperatorStrike => "operator-strike",
+            FaultScenarioId::DegradedPeak => "degraded-peak",
+        }
+    }
+
+    /// Parses a stable identifier back to the scenario.
+    pub fn parse(s: &str) -> Option<FaultScenarioId> {
+        FaultScenarioId::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// The fault plan this scenario injects.
+    pub fn plan(&self) -> FaultPlan {
+        let outage = |target, mean_up_s, down_s| OutageClause {
+            target,
+            mean_up_s,
+            down_s,
+            jitter: 0.3,
+        };
+        match self {
+            FaultScenarioId::None => FaultPlan::none(),
+            FaultScenarioId::FlakyReads => FaultPlan {
+                read_error_prob: 0.12,
+                max_read_retries: 3,
+                retry_backoff_s: 60.0,
+                ..FaultPlan::none()
+            },
+            FaultScenarioId::DriveCrunch => FaultPlan {
+                outages: vec![
+                    outage(FaultTarget::SiloDrive, 6.0 * 3600.0, 2_700.0),
+                    outage(FaultTarget::ManualDrive, 12.0 * 3600.0, 7_200.0),
+                ],
+                ..FaultPlan::none()
+            },
+            FaultScenarioId::OperatorStrike => FaultPlan {
+                outages: vec![
+                    outage(FaultTarget::Operator, 8.0 * 3600.0, 4.0 * 3600.0),
+                    outage(FaultTarget::RobotArm, 24.0 * 3600.0, 1_800.0),
+                ],
+                ..FaultPlan::none()
+            },
+            FaultScenarioId::DegradedPeak => FaultPlan {
+                outages: vec![outage(FaultTarget::SiloDrive, 8.0 * 3600.0, 3_600.0)],
+                read_error_prob: 0.08,
+                max_read_retries: 2,
+                retry_backoff_s: 45.0,
+                slow_drive: Some(SlowDriveClause {
+                    rate_factor: 0.5,
+                    mean_up_s: 4.0 * 3600.0,
+                    down_s: 1.5 * 3600.0,
+                }),
+            },
+        }
+    }
+}
+
+/// The scenario matrix: every combination of the five axes is one cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepConfig {
     /// Policies to compare (axis 1).
@@ -203,6 +301,14 @@ pub struct SweepConfig {
     /// ratios are identical to open-loop mode by construction; the cost
     /// is one device simulation per cell instead of one per shard.
     pub latency: bool,
+    /// Fault-scenario axis (axis 5). Every scenario expands the matrix
+    /// like any other axis; non-`None` scenarios are inherently
+    /// closed-loop (the faults live in the device model), so their
+    /// cells run the hierarchy engine even when `latency` is off, and
+    /// their results carry degraded-mode metrics. `[None]` — the
+    /// default — reproduces the pre-fault report byte for byte. An
+    /// empty vector behaves as `[None]`.
+    pub faults: Vec<FaultScenarioId>,
     /// Worker threads; 0 means one per available CPU, capped at the
     /// shard count. Any value produces the identical report.
     pub workers: usize,
@@ -210,7 +316,8 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     /// The smoke-test matrix CI benchmarks: three policies on the NCAR
-    /// preset at a tiny scale, one cache point — 3 cells, 1 shard.
+    /// preset at a tiny scale, one cache point, healthy plus one
+    /// compound fault scenario — 6 cells, 1 shard.
     pub fn tiny() -> Self {
         SweepConfig {
             policies: vec![PolicyId::Stp14, PolicyId::Lru, PolicyId::Belady],
@@ -220,6 +327,7 @@ impl SweepConfig {
             base_seed: 0x5357_4545, // "SWEE"
             simulate_devices: true,
             latency: false,
+            faults: vec![FaultScenarioId::None, FaultScenarioId::DegradedPeak],
             workers: 0,
         }
     }
@@ -241,13 +349,27 @@ impl SweepConfig {
             base_seed: 0x5357_4545,
             simulate_devices: true,
             latency: false,
+            faults: vec![FaultScenarioId::None],
             workers: 0,
+        }
+    }
+
+    /// The fault axis with the empty-vector fallback applied.
+    pub fn fault_axis(&self) -> Vec<FaultScenarioId> {
+        if self.faults.is_empty() {
+            vec![FaultScenarioId::None]
+        } else {
+            self.faults.clone()
         }
     }
 
     /// Number of scenario cells the matrix expands to.
     pub fn cell_count(&self) -> usize {
-        self.policies.len() * self.presets.len() * self.scales.len() * self.cache_fractions.len()
+        self.policies.len()
+            * self.presets.len()
+            * self.scales.len()
+            * self.cache_fractions.len()
+            * self.fault_axis().len()
     }
 
     /// Number of trace shards (distinct preset × scale coordinates); each
@@ -294,6 +416,32 @@ impl SweepConfig {
             policy_idx as u64,
         )
     }
+
+    /// The hierarchy-engine seed for one cell of the fault axis.
+    ///
+    /// The healthy scenario (`None`) keeps the pre-fault
+    /// [`SweepConfig::cell_sim_seed`] untouched — that is what makes a
+    /// `[None]` axis byte-identical to the old engine — while every
+    /// fault scenario derives a distinct stream from the same
+    /// coordinates plus its *position* on the axis, so its outage
+    /// windows and device noise decorrelate from the healthy twin and
+    /// from each other.
+    pub fn cell_fault_seed(
+        &self,
+        preset_idx: usize,
+        scale_idx: usize,
+        cache_idx: usize,
+        policy_idx: usize,
+        fault_idx: usize,
+        scenario: FaultScenarioId,
+    ) -> u64 {
+        let base = self.cell_sim_seed(preset_idx, scale_idx, cache_idx, policy_idx);
+        if scenario == FaultScenarioId::None {
+            base
+        } else {
+            mix(base, 0x4641_554C + fault_idx as u64) // "FAUL"
+        }
+    }
 }
 
 impl Default for SweepConfig {
@@ -302,15 +450,9 @@ impl Default for SweepConfig {
     }
 }
 
-/// splitmix64: the seed-derivation mixer (weak inputs, well-spread
-/// outputs, no allocation).
-fn mix(seed: u64, salt: u64) -> u64 {
-    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// The workspace's one splitmix64 seed-derivation mixer, shared with
+// the fault schedule so every derived stream has a single definition.
+use fmig_sim::fault::seed_mix as mix;
 
 /// One paper-figure delta: the published value against this shard's
 /// measurement.
@@ -336,6 +478,8 @@ impl PaperDelta {
 pub struct CellResult {
     /// The policy evaluated.
     pub policy: PolicyId,
+    /// The fault scenario this cell degraded under (`None` = healthy).
+    pub fault: FaultScenarioId,
     /// The cache axis value (fraction of referenced bytes).
     pub cache_fraction: f64,
     /// The resolved staging-disk capacity in bytes.
@@ -382,8 +526,8 @@ pub struct ShardReport {
     /// deviate from the paper's knobs by design, so a delta there would
     /// be noise dressed up as a fidelity check.
     pub paper_deltas: Vec<PaperDelta>,
-    /// One result per (policy, cache fraction) cell, in matrix order
-    /// (cache-fraction major, then policy).
+    /// One result per (fault, cache fraction, policy) cell, in matrix
+    /// order (fault-scenario major, then cache fraction, then policy).
     pub cells: Vec<CellResult>,
 }
 
@@ -407,6 +551,11 @@ pub struct Winner {
     pub by_mean_wait: Option<PolicyId>,
     /// Best policy by p99 first-byte read wait; latency mode only.
     pub by_p99_wait: Option<PolicyId>,
+    /// Most *robust* policy: the one whose worst-case p99 read wait
+    /// across the group's fault scenarios is lowest. `None` when the
+    /// matrix carries no fault scenarios — policies are then never
+    /// ranked by a world they were not run in.
+    pub by_degraded_p99: Option<PolicyId>,
 }
 
 /// The comparative output of a sweep.
@@ -418,6 +567,10 @@ pub struct SweepReport {
     pub simulated_devices: bool,
     /// Whether cells ran latency-true (closed-loop) evaluation.
     pub latency_mode: bool,
+    /// The fault axis the matrix expanded over. A `[None]` axis keeps
+    /// every fault-related field out of the JSON entirely, making the
+    /// healthy report byte-identical to the pre-fault schema.
+    pub fault_scenarios: Vec<FaultScenarioId>,
     /// One report per trace shard, in matrix order (preset major).
     pub shards: Vec<ShardReport>,
     /// One winner row per (preset, scale, cache) group.
@@ -425,11 +578,32 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// True when the matrix degraded at least one scenario — the switch
+    /// for every fault-related JSON field and text column.
+    pub fn fault_mode(&self) -> bool {
+        self.fault_scenarios
+            .iter()
+            .any(|f| *f != FaultScenarioId::None)
+    }
     /// Fills the winner table from the shard cells. Ties go to the first
     /// policy in the shard's cell order, which is the matrix order —
     /// deterministic by construction.
+    ///
+    /// The classic columns rank the *healthy* cells (fault `None`);
+    /// when the matrix has no healthy scenario they fall back to the
+    /// first scenario on the axis. `by_degraded_p99` ranks robustness:
+    /// each policy is scored by its worst p99 read wait across the
+    /// group's fault scenarios, lowest worst-case wins.
     pub(crate) fn compute_winners(&mut self) {
         self.winners.clear();
+        let healthy = if self.fault_scenarios.contains(&FaultScenarioId::None) {
+            FaultScenarioId::None
+        } else {
+            *self
+                .fault_scenarios
+                .first()
+                .unwrap_or(&FaultScenarioId::None)
+        };
         for shard in &self.shards {
             let mut fractions: Vec<f64> = Vec::new();
             for cell in &shard.cells {
@@ -441,7 +615,7 @@ impl SweepReport {
                 let group: Vec<&CellResult> = shard
                     .cells
                     .iter()
-                    .filter(|c| c.cache_fraction == frac)
+                    .filter(|c| c.cache_fraction == frac && c.fault == healthy)
                     .collect();
                 let best = |key: fn(&CellResult) -> f64| {
                     group
@@ -480,6 +654,34 @@ impl SweepReport {
                         })
                         .map(|c| c.policy)
                 };
+                // Robustness column: worst-case p99 across the group's
+                // fault scenarios, per policy, in matrix policy order.
+                let fault_cells: Vec<&CellResult> = shard
+                    .cells
+                    .iter()
+                    .filter(|c| {
+                        c.cache_fraction == frac
+                            && c.fault != FaultScenarioId::None
+                            && c.latency.is_some()
+                    })
+                    .collect();
+                let mut by_degraded_p99: Option<(PolicyId, f64)> = None;
+                let mut scored: Vec<PolicyId> = Vec::new();
+                for cell in &fault_cells {
+                    if scored.contains(&cell.policy) {
+                        continue;
+                    }
+                    scored.push(cell.policy);
+                    let worst = fault_cells
+                        .iter()
+                        .filter(|c| c.policy == cell.policy)
+                        .map(|c| c.latency.expect("filtered above").p99_read_wait_s)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    match by_degraded_p99 {
+                        Some((_, best_worst)) if best_worst <= worst => {}
+                        _ => by_degraded_p99 = Some((cell.policy, worst)),
+                    }
+                }
                 self.winners.push(Winner {
                     preset: shard.preset,
                     scale: shard.scale,
@@ -489,6 +691,7 @@ impl SweepReport {
                     practical,
                     by_mean_wait: best_wait(|l| l.mean_read_wait_s),
                     by_p99_wait: best_wait(|l| l.p99_read_wait_s),
+                    by_degraded_p99: by_degraded_p99.map(|(p, _)| p),
                 });
             }
         }
@@ -500,6 +703,7 @@ impl SweepReport {
     /// bytes, which is what the CI artifact diff and the determinism test
     /// key on.
     pub fn to_json(&self) -> String {
+        let fault_mode = self.fault_mode();
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"base_seed\": ");
         out.push_str(&self.base_seed.to_string());
@@ -511,13 +715,26 @@ impl SweepReport {
         });
         out.push_str(",\n  \"latency_mode\": ");
         out.push_str(if self.latency_mode { "true" } else { "false" });
+        // Every fault-related key is conditional on the matrix actually
+        // degrading something: a [None] axis reproduces the pre-fault
+        // schema byte for byte.
+        if fault_mode {
+            out.push_str(",\n  \"fault_scenarios\": [");
+            for (i, f) in self.fault_scenarios.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                json_str(&mut out, f.name());
+            }
+            out.push(']');
+        }
         out.push_str(",\n  \"shards\": [");
         for (i, shard) in self.shards.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str("\n    ");
-            shard_json(&mut out, shard);
+            shard_json(&mut out, shard, fault_mode);
         }
         out.push_str("\n  ],\n  \"winners\": [");
         for (i, w) in self.winners.iter().enumerate() {
@@ -548,6 +765,13 @@ impl SweepReport {
             match w.by_p99_wait {
                 Some(p) => json_str(&mut out, p.name()),
                 None => out.push_str("null"),
+            }
+            if fault_mode {
+                out.push_str(", \"by_degraded_p99\": ");
+                match w.by_degraded_p99 {
+                    Some(p) => json_str(&mut out, p.name()),
+                    None => out.push_str("null"),
+                }
             }
             out.push('}');
         }
@@ -588,6 +812,15 @@ impl SweepReport {
                         " wait mean {:>6.1}s p99 {:>6.1}s coalesced {}",
                         l.mean_read_wait_s, l.p99_read_wait_s, l.delayed_hits,
                     ));
+                    if let Some(d) = &l.degraded {
+                        out.push_str(&format!(
+                            " [{}: retries {} outages {} outage-wait {:.0}s]",
+                            cell.fault.name(),
+                            d.read_retries,
+                            d.outage_events,
+                            d.outage_wait_s,
+                        ));
+                    }
                 }
                 out.push('\n');
             }
@@ -610,13 +843,16 @@ impl SweepReport {
                     p99.name()
                 ));
             }
+            if let Some(p) = w.by_degraded_p99 {
+                out.push_str(&format!(" | degraded-p99 {}", p.name()));
+            }
             out.push('\n');
         }
         out
     }
 }
 
-fn shard_json(out: &mut String, s: &ShardReport) {
+fn shard_json(out: &mut String, s: &ShardReport, fault_mode: bool) {
     out.push_str("{\"preset\": ");
     json_str(out, s.preset.name());
     out.push_str(", \"scale\": ");
@@ -657,6 +893,10 @@ fn shard_json(out: &mut String, s: &ShardReport) {
         }
         out.push_str("{\"policy\": ");
         json_str(out, c.policy.name());
+        if fault_mode {
+            out.push_str(", \"fault\": ");
+            json_str(out, c.fault.name());
+        }
         out.push_str(", \"cache_fraction\": ");
         json_f64(out, c.cache_fraction);
         out.push_str(", \"capacity_bytes\": ");
@@ -687,6 +927,19 @@ fn shard_json(out: &mut String, s: &ShardReport) {
                 out.push_str(&l.flush_bytes.to_string());
                 out.push_str(", \"mean_flush_queue_s\": ");
                 json_f64(out, l.mean_flush_queue_s);
+                // The degraded object exists exactly on fault cells, so
+                // the healthy schema carries no trace of it.
+                if let Some(d) = &l.degraded {
+                    out.push_str(", \"degraded\": {\"read_retries\": ");
+                    out.push_str(&d.read_retries.to_string());
+                    out.push_str(", \"outage_events\": ");
+                    out.push_str(&d.outage_events.to_string());
+                    out.push_str(", \"outage_wait_s\": ");
+                    json_f64(out, d.outage_wait_s);
+                    out.push_str(", \"slow_transfers\": ");
+                    out.push_str(&d.slow_transfers.to_string());
+                    out.push('}');
+                }
                 out.push('}');
             }
         }
@@ -725,6 +978,7 @@ fn json_f64(out: &mut String, x: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fmig_migrate::eval::DegradedOutcome;
 
     #[test]
     fn policy_ids_round_trip() {
@@ -771,8 +1025,39 @@ mod tests {
         let cfg = SweepConfig::small();
         assert_eq!(cfg.cell_count(), 5 * 2 * 2 * 2);
         assert_eq!(cfg.shard_count(), 4);
-        assert_eq!(SweepConfig::tiny().cell_count(), 3);
+        // tiny carries the healthy axis plus one fault scenario.
+        assert_eq!(SweepConfig::tiny().cell_count(), 6);
         assert_eq!(SweepConfig::tiny().shard_count(), 1);
+        // An empty fault axis behaves as [None].
+        let mut bare = SweepConfig::tiny();
+        bare.faults = vec![];
+        assert_eq!(bare.fault_axis(), vec![FaultScenarioId::None]);
+        assert_eq!(bare.cell_count(), 3);
+    }
+
+    #[test]
+    fn fault_scenario_ids_round_trip() {
+        for f in FaultScenarioId::ALL {
+            assert_eq!(FaultScenarioId::parse(f.name()), Some(f));
+            // Only the healthy scenario maps to an inert plan.
+            assert_eq!(f.plan().is_none(), f == FaultScenarioId::None);
+        }
+        assert_eq!(FaultScenarioId::parse("meteor-strike"), None);
+    }
+
+    #[test]
+    fn fault_cell_seeds_differ_from_healthy_and_per_scenario() {
+        let cfg = SweepConfig::tiny();
+        let healthy = cfg.cell_fault_seed(0, 0, 0, 0, 0, FaultScenarioId::None);
+        assert_eq!(
+            healthy,
+            cfg.cell_sim_seed(0, 0, 0, 0),
+            "the healthy scenario must keep the pre-fault stream"
+        );
+        let a = cfg.cell_fault_seed(0, 0, 0, 0, 1, FaultScenarioId::DegradedPeak);
+        let b = cfg.cell_fault_seed(0, 0, 0, 0, 2, FaultScenarioId::FlakyReads);
+        assert_ne!(a, healthy);
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -793,6 +1078,7 @@ mod tests {
             base_seed: 0,
             simulated_devices: false,
             latency_mode: false,
+            fault_scenarios: vec![FaultScenarioId::None],
             shards: vec![ShardReport {
                 preset: PresetId::Ncar,
                 scale: 0.002,
@@ -814,6 +1100,7 @@ mod tests {
     fn cell(policy: PolicyId, miss: f64, pm: f64) -> CellResult {
         CellResult {
             policy,
+            fault: FaultScenarioId::None,
             cache_fraction: 0.01,
             capacity_bytes: 1,
             miss_ratio: miss,
@@ -852,6 +1139,7 @@ mod tests {
             recalls: 10,
             flush_bytes: 0,
             mean_flush_queue_s: 0.0,
+            degraded: None,
         };
         let mut cells = vec![
             cell(PolicyId::Lru, 0.30, 1.0),
@@ -874,5 +1162,75 @@ mod tests {
         let text = report.render();
         assert!(text.contains("p99-wait stp1.4"));
         assert!(text.contains("mean-wait lru"));
+    }
+
+    #[test]
+    fn degraded_winner_ranks_by_worst_case_p99_and_keys_the_json() {
+        let lat = |p99: f64, degraded: bool| LatencyOutcome {
+            mean_read_wait_s: p99 / 3.0,
+            p99_read_wait_s: p99,
+            mean_miss_wait_s: 60.0,
+            mean_delayed_wait_s: 5.0,
+            delayed_hits: 0,
+            recalls: 10,
+            flush_bytes: 0,
+            mean_flush_queue_s: 0.0,
+            degraded: degraded.then_some(DegradedOutcome {
+                read_retries: 4,
+                outage_events: 2,
+                outage_wait_s: 123.0,
+                slow_transfers: 1,
+            }),
+        };
+        let mut cells = vec![
+            cell(PolicyId::Lru, 0.30, 1.0),
+            cell(PolicyId::Stp14, 0.20, 2.0),
+        ];
+        // Two fault scenarios: LRU is great under one, terrible under
+        // the other; STP is consistently middling. Worst-case ranking
+        // must prefer STP.
+        for (scenario, lru_p99, stp_p99) in [
+            (FaultScenarioId::FlakyReads, 100.0, 200.0),
+            (FaultScenarioId::DegradedPeak, 900.0, 250.0),
+        ] {
+            let mut lru = cell(PolicyId::Lru, 0.30, 1.0);
+            lru.fault = scenario;
+            lru.latency = Some(lat(lru_p99, true));
+            let mut stp = cell(PolicyId::Stp14, 0.20, 2.0);
+            stp.fault = scenario;
+            stp.latency = Some(lat(stp_p99, true));
+            cells.push(lru);
+            cells.push(stp);
+        }
+        let mut report = test_report(cells);
+        report.fault_scenarios = vec![
+            FaultScenarioId::None,
+            FaultScenarioId::FlakyReads,
+            FaultScenarioId::DegradedPeak,
+        ];
+        report.compute_winners();
+        let w = &report.winners[0];
+        // Healthy columns ranked over the healthy cells only.
+        assert_eq!(w.by_miss_ratio, PolicyId::Stp14);
+        assert_eq!(w.by_degraded_p99, Some(PolicyId::Stp14));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"fault_scenarios\": [\"none\", \"flaky-reads\", \"degraded-peak\"]")
+        );
+        assert!(json.contains("\"by_degraded_p99\": \"stp1.4\""));
+        assert!(json.contains("\"fault\": \"degraded-peak\""));
+        assert!(json.contains("\"degraded\": {\"read_retries\": 4"));
+        assert!(report.render().contains("degraded-p99 stp1.4"));
+    }
+
+    #[test]
+    fn healthy_reports_carry_no_fault_keys() {
+        let mut report = test_report(vec![cell(PolicyId::Lru, 0.1, 1.0)]);
+        report.compute_winners();
+        assert!(!report.fault_mode());
+        let json = report.to_json();
+        assert!(!json.contains("fault"));
+        assert!(!json.contains("degraded"));
+        assert_eq!(report.winners[0].by_degraded_p99, None);
     }
 }

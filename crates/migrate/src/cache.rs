@@ -506,6 +506,27 @@ impl<'p> DiskCache<'p> {
         }
     }
 
+    /// Marks `id`'s tape recall attempt as **failed**: the entry's
+    /// outstanding-fetch state is re-armed so reads keep coalescing as
+    /// [`ReadResult::DelayedHit`] until a retry finally delivers
+    /// ([`DiskCache::fetch_complete`]). Residency, usage, and every
+    /// counter are untouched — the space reserved at the original miss
+    /// stays reserved across retries, so a fault-injected replay makes
+    /// exactly the hit/miss/eviction decisions a fault-free one does.
+    ///
+    /// Returns `true` if the file is resident (fetch re-armed); `false`
+    /// when it was evicted mid-recall or bypassed the cache, where a
+    /// retry's delivery will be a no-op too.
+    pub fn fetch_failed(&mut self, id: u64) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.fetching = true;
+                true
+            }
+            None => false,
+        }
+    }
+
     #[expect(clippy::too_many_arguments)]
     fn insert(
         &mut self,
@@ -959,6 +980,38 @@ mod tests {
         assert_eq!(c.stats().read_hits, 2);
         // Unknown / bypassed files complete as no-ops.
         assert!(!c.fetch_complete(999));
+    }
+
+    #[test]
+    fn fetch_failed_rearms_without_corrupting_residency() {
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        assert_eq!(c.read_with(1, 100, 0, None, &mut |_| {}), ReadResult::Miss);
+        let before = *c.stats();
+        let usage = c.usage();
+        // The first attempt fails: the reference keeps coalescing.
+        assert!(c.fetch_failed(1));
+        assert_eq!(
+            c.read_with(1, 100, 2, None, &mut |_| {}),
+            ReadResult::DelayedHit
+        );
+        // A retry fails again after a spurious completion: re-armed.
+        assert!(c.fetch_complete(1));
+        assert!(c.fetch_failed(1));
+        assert_eq!(
+            c.read_with(1, 100, 4, None, &mut |_| {}),
+            ReadResult::DelayedHit
+        );
+        // The successful retry finally delivers.
+        assert!(c.fetch_complete(1));
+        assert_eq!(c.read_with(1, 100, 6, None, &mut |_| {}), ReadResult::Hit);
+        // Failure never touched residency or the miss counters.
+        assert_eq!(c.usage(), usage);
+        assert_eq!(c.stats().read_misses, before.read_misses);
+        assert_eq!(c.stats().read_miss_bytes, before.read_miss_bytes);
+        assert_eq!(c.stats().evictions, before.evictions);
+        // Evicted or bypassed files fail as no-ops, like completion.
+        assert!(!c.fetch_failed(999));
     }
 
     #[test]

@@ -74,6 +74,30 @@ pub struct LatencyOutcome {
     /// Mean time a tape flush waited for a drive, seconds — the
     /// write-back contention the closed loop exposes.
     pub mean_flush_queue_s: f64,
+    /// Degraded-mode counters from a fault-injected closed-loop run;
+    /// `None` when the run carried no fault plan. The wait fields above
+    /// already reflect the faults (retries lengthen miss waits, outages
+    /// lengthen queues) — this object attributes the damage.
+    pub degraded: Option<DegradedOutcome>,
+}
+
+/// What a fault plan did to one closed-loop run (see
+/// `fmig_sim::fault`): the attribution half of a degraded-mode
+/// measurement, carried next to the wait distributions it explains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradedOutcome {
+    /// Tape recall attempts that failed (media read errors) and were
+    /// re-queued with backoff.
+    pub read_retries: u64,
+    /// Outage windows that actually parked a unit (drive, robot arm, or
+    /// operator) for part of the run.
+    pub outage_events: u64,
+    /// Total queue wait that overlapped an outage window of the
+    /// waiting job's resource, seconds — wait attributable to parked
+    /// hardware rather than ordinary contention.
+    pub outage_wait_s: f64,
+    /// Tape transfers that ran at a degraded (slow-drive) rate.
+    pub slow_transfers: u64,
 }
 
 /// The result of one policy's run.

@@ -1,0 +1,523 @@
+//! Deterministic fault injection for the closed-loop hierarchy engine.
+//!
+//! The paper's MSS was defined as much by its failure modes as by its
+//! steady state: operator-mounted tapes went missing, drives fought
+//! over cartridges, and a recall could stall for minutes behind a
+//! repair. [`FaultPlan`] describes that degraded world as a *scenario*
+//! — outage processes over drives and mounters, a per-recall media
+//! read-error probability with bounded retry, and slow-drive windows —
+//! and [`FaultSchedule::materialize`] turns the scenario into a
+//! concrete, fully deterministic schedule from a seed:
+//!
+//! * **outage windows** are sampled up front from a dedicated RNG
+//!   stream derived from the seed (exponential up-times, jittered
+//!   repair times), so the same seed always parks the same units at the
+//!   same instants;
+//! * **read errors** are decided by a counter-based hash of
+//!   `(seed, recall, attempt)` — no shared RNG stream, so the decision
+//!   for a given recall cannot shift when unrelated event interleaving
+//!   changes;
+//! * **slow-drive windows** scale tape transfer rates by a fixed
+//!   factor over scheduled intervals.
+//!
+//! Because the schedule consumes no draws from the engine's own RNG and
+//! an empty plan materializes to an inert schedule, a zero-fault run is
+//! **bit-identical** to a run of the pre-fault engine — the property
+//! `tests/golden_report.rs` and `tests/fault_injection.rs` pin.
+
+use fmig_trace::DeviceClass;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{SimMs, MS};
+
+/// A resource class a fault clause can take units away from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Tape drives in the StorageTek silo.
+    SiloDrive,
+    /// Operator-mounted shelf tape drives.
+    ManualDrive,
+    /// Robot arms mounting silo cartridges.
+    RobotArm,
+    /// Human operators mounting shelf cartridges.
+    Operator,
+}
+
+impl FaultTarget {
+    /// The tape tier whose jobs queue behind this resource — used to
+    /// attribute queue wait to outages.
+    pub fn tier(self) -> DeviceClass {
+        match self {
+            FaultTarget::SiloDrive | FaultTarget::RobotArm => DeviceClass::TapeSilo,
+            FaultTarget::ManualDrive | FaultTarget::Operator => DeviceClass::TapeManual,
+        }
+    }
+}
+
+/// One outage process: a renewal process of failures on a resource
+/// class, each parking one unit for a repair window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageClause {
+    /// Resource the outages hit.
+    pub target: FaultTarget,
+    /// Mean up-time between failures, seconds (exponential).
+    pub mean_up_s: f64,
+    /// Repair duration, seconds (uniformly jittered by `jitter`).
+    pub down_s: f64,
+    /// Relative jitter (±) on the repair duration, in `[0, 1)`.
+    pub jitter: f64,
+}
+
+/// Slow-drive degradation: scheduled windows during which every tape
+/// transfer streams at `rate_factor` times its healthy rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowDriveClause {
+    /// Tape transfer-rate multiplier inside a window, in `(0, 1]`.
+    pub rate_factor: f64,
+    /// Mean healthy time between degradation windows, seconds.
+    pub mean_up_s: f64,
+    /// Window duration, seconds.
+    pub down_s: f64,
+}
+
+/// A degraded-mode scenario for the hierarchy engine. The plan is pure
+/// configuration — materialize it against a seed and a time span to get
+/// the concrete [`FaultSchedule`] the engine consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Outage processes over drives and mounters.
+    pub outages: Vec<OutageClause>,
+    /// Probability a recall's tape transfer fails with a media read
+    /// error and must retry, in `[0, 1]`.
+    pub read_error_prob: f64,
+    /// Failed attempts allowed per recall; the attempt after the last
+    /// allowed failure always succeeds (an operator re-cleans the
+    /// cartridge), so every recall terminates.
+    pub max_read_retries: u32,
+    /// Backoff before a failed recall re-joins its drive queue, seconds.
+    pub retry_backoff_s: f64,
+    /// Optional slow-drive degradation windows.
+    pub slow_drive: Option<SlowDriveClause>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, engine behavior bit-identical to a
+    /// fault-free run.
+    pub fn none() -> Self {
+        FaultPlan {
+            outages: Vec::new(),
+            read_error_prob: 0.0,
+            max_read_retries: 0,
+            retry_backoff_s: 30.0,
+            slow_drive: None,
+        }
+    }
+
+    /// True when materializing this plan can never inject anything.
+    pub fn is_none(&self) -> bool {
+        self.outages.is_empty() && self.read_error_prob <= 0.0 && self.slow_drive.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One materialized outage: `target` loses a unit over
+/// `[start_ms, end_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// Resource losing a unit.
+    pub target: FaultTarget,
+    /// Window start, sim milliseconds.
+    pub start_ms: SimMs,
+    /// Window end, sim milliseconds.
+    pub end_ms: SimMs,
+}
+
+/// The concrete, deterministic schedule an engine run consumes; see the
+/// module docs for how determinism is obtained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    windows: Vec<OutageWindow>,
+    slow: Vec<(SimMs, SimMs)>,
+    slow_factor: f64,
+    read_error_prob: f64,
+    max_read_retries: u32,
+    retry_backoff_ms: SimMs,
+    seed: u64,
+    active: bool,
+}
+
+/// splitmix64 finalizer: derives well-spread child seeds from weak
+/// inputs (a seed ⊕ small counters). This is the one seed-mixer of the
+/// workspace — the sweep engine derives every per-coordinate stream
+/// through it too, so the healthy cells' streams and the fault
+/// schedule's streams come from the same, single definition.
+pub fn seed_mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+use seed_mix as mix;
+
+impl FaultSchedule {
+    /// The inert schedule: injects nothing, decides nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Materializes `plan` over `[start_ms, end_ms)` from `seed`.
+    ///
+    /// Outage and slow-drive windows are sampled from an RNG stream
+    /// derived from `seed` alone (never shared with the engine), so one
+    /// `(plan, seed, span)` triple always yields one schedule. An empty
+    /// plan returns the inert schedule regardless of seed.
+    pub fn materialize(plan: &FaultPlan, seed: u64, start_ms: SimMs, end_ms: SimMs) -> Self {
+        if plan.is_none() {
+            return Self::none();
+        }
+        let mut windows = Vec::new();
+        for (ci, clause) in plan.outages.iter().enumerate() {
+            // One independent stream per clause: reordering or removing
+            // a clause never reshuffles the others' windows.
+            let mut rng = SmallRng::seed_from_u64(mix(seed, 0x4F55_5441 + ci as u64)); // "OUTA"
+            let mut t = start_ms;
+            if clause.mean_up_s <= 0.0 || clause.down_s <= 0.0 {
+                continue;
+            }
+            loop {
+                let up_s = -clause.mean_up_s * (1.0f64 - rng.gen_range(0.0..1.0)).ln();
+                t += (up_s * MS as f64) as SimMs;
+                if t >= end_ms {
+                    break;
+                }
+                let jitter = if clause.jitter > 0.0 {
+                    1.0 + rng.gen_range(-clause.jitter..clause.jitter)
+                } else {
+                    1.0
+                };
+                let down_ms = ((clause.down_s * jitter) * MS as f64).max(1.0) as SimMs;
+                windows.push(OutageWindow {
+                    target: clause.target,
+                    start_ms: t,
+                    end_ms: (t + down_ms).min(end_ms),
+                });
+                t += down_ms;
+            }
+        }
+        windows.sort_by_key(|w| (w.start_ms, w.end_ms));
+
+        let mut slow = Vec::new();
+        let mut slow_factor = 1.0;
+        if let Some(clause) = plan.slow_drive {
+            slow_factor = clause.rate_factor.clamp(1e-3, 1.0);
+            if clause.mean_up_s > 0.0 && clause.down_s > 0.0 {
+                let mut rng = SmallRng::seed_from_u64(mix(seed, 0x534C_4F57)); // "SLOW"
+                let mut t = start_ms;
+                loop {
+                    let up_s = -clause.mean_up_s * (1.0f64 - rng.gen_range(0.0..1.0)).ln();
+                    t += (up_s * MS as f64) as SimMs;
+                    if t >= end_ms {
+                        break;
+                    }
+                    let down_ms = (clause.down_s * MS as f64).max(1.0) as SimMs;
+                    slow.push((t, (t + down_ms).min(end_ms)));
+                    t += down_ms;
+                }
+            }
+        }
+
+        FaultSchedule {
+            windows,
+            slow,
+            slow_factor,
+            read_error_prob: plan.read_error_prob.clamp(0.0, 1.0),
+            max_read_retries: plan.max_read_retries,
+            retry_backoff_ms: (plan.retry_backoff_s.max(0.0) * MS as f64) as SimMs,
+            seed,
+            active: true,
+        }
+    }
+
+    /// True when this schedule can inject at least one fault class.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The materialized outage windows, sorted by start time.
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+
+    /// Backoff before a failed recall re-queues, milliseconds.
+    pub fn retry_backoff_ms(&self) -> SimMs {
+        self.retry_backoff_ms
+    }
+
+    /// Decides whether attempt `attempt` (0-based) of recall
+    /// `recall_seq` fails with a media read error.
+    ///
+    /// Counter-based: the decision is a pure function of
+    /// `(seed, recall_seq, attempt)`, so it cannot shift when unrelated
+    /// events reorder. Attempts past `max_read_retries` always succeed,
+    /// bounding every recall's retry chain.
+    pub fn read_fails(&self, recall_seq: u64, attempt: u32) -> bool {
+        if self.read_error_prob <= 0.0 || attempt >= self.max_read_retries {
+            return false;
+        }
+        let h = mix(mix(self.seed, 0x5245_4144 ^ recall_seq), u64::from(attempt)); // "READ"
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.read_error_prob
+    }
+
+    /// The tape transfer-rate multiplier in effect at `t_ms` for
+    /// `device`; disks never degrade and a healthy instant is exactly
+    /// `1.0`.
+    pub fn rate_factor_at(&self, device: DeviceClass, t_ms: SimMs) -> f64 {
+        if device == DeviceClass::Disk || self.slow.is_empty() {
+            return 1.0;
+        }
+        for &(s, e) in &self.slow {
+            if t_ms >= s && t_ms < e {
+                return self.slow_factor;
+            }
+            if t_ms < s {
+                break;
+            }
+        }
+        1.0
+    }
+
+    /// Milliseconds of `[from_ms, to_ms)` overlapping the **union** of
+    /// outage windows of resources whose tier is `tier` — the
+    /// outage-attributed share of a queue wait. Union, not sum:
+    /// concurrent windows of one tier (two failed drives, a drive down
+    /// during a robot repair) must not attribute the same waiting
+    /// millisecond twice, or the attributed wait could exceed the wait
+    /// itself.
+    pub fn outage_overlap_ms(&self, tier: DeviceClass, from_ms: SimMs, to_ms: SimMs) -> SimMs {
+        if self.windows.is_empty() || to_ms <= from_ms {
+            return 0;
+        }
+        // Windows are sorted by start, so a cursor past each counted
+        // interval's end computes the union in one pass.
+        let mut overlap = 0;
+        let mut cursor = from_ms;
+        for w in &self.windows {
+            if w.start_ms >= to_ms {
+                break;
+            }
+            if w.target.tier() != tier {
+                continue;
+            }
+            let lo = w.start_ms.max(cursor);
+            let hi = w.end_ms.min(to_ms);
+            if hi > lo {
+                overlap += hi - lo;
+                cursor = hi;
+            }
+        }
+        overlap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outage(target: FaultTarget, mean_up_s: f64, down_s: f64) -> OutageClause {
+        OutageClause {
+            target,
+            mean_up_s,
+            down_s,
+            jitter: 0.2,
+        }
+    }
+
+    fn flaky_plan() -> FaultPlan {
+        FaultPlan {
+            outages: vec![
+                outage(FaultTarget::SiloDrive, 4_000.0, 900.0),
+                outage(FaultTarget::Operator, 9_000.0, 3_600.0),
+            ],
+            read_error_prob: 0.1,
+            max_read_retries: 3,
+            retry_backoff_s: 45.0,
+            slow_drive: Some(SlowDriveClause {
+                rate_factor: 0.4,
+                mean_up_s: 5_000.0,
+                down_s: 1_500.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+        let s = FaultSchedule::materialize(&FaultPlan::none(), 99, 0, 1_000_000_000);
+        assert!(!s.is_active());
+        assert!(s.windows().is_empty());
+        assert!(!s.read_fails(0, 0));
+        assert_eq!(s.rate_factor_at(DeviceClass::TapeSilo, 500), 1.0);
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 0, 1000), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_different_schedule() {
+        let plan = flaky_plan();
+        let a = FaultSchedule::materialize(&plan, 7, 0, 500_000_000);
+        let b = FaultSchedule::materialize(&plan, 7, 0, 500_000_000);
+        assert_eq!(a, b, "equal seeds must materialize identically");
+        assert!(!a.windows().is_empty(), "a week of sim time has outages");
+        let c = FaultSchedule::materialize(&plan, 8, 0, 500_000_000);
+        assert_ne!(a.windows(), c.windows(), "seeds must decorrelate");
+    }
+
+    #[test]
+    fn windows_are_sorted_disjoint_per_clause_and_bounded() {
+        let plan = flaky_plan();
+        let s = FaultSchedule::materialize(&plan, 42, 1_000, 200_000_000);
+        for w in s.windows() {
+            assert!(w.start_ms >= 1_000);
+            assert!(w.end_ms <= 200_000_000);
+            assert!(w.start_ms < w.end_ms);
+        }
+        for pair in s.windows().windows(2) {
+            assert!(pair[0].start_ms <= pair[1].start_ms, "sorted by start");
+        }
+    }
+
+    #[test]
+    fn read_failures_are_counter_based_and_bounded() {
+        let plan = FaultPlan {
+            read_error_prob: 0.5,
+            max_read_retries: 2,
+            ..FaultPlan::none()
+        };
+        let s = FaultSchedule::materialize(&plan, 3, 0, 1_000);
+        // Pure function of (recall, attempt): re-asking never flips.
+        for recall in 0..200u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(s.read_fails(recall, attempt), s.read_fails(recall, attempt));
+            }
+            // Bounded retry: the attempt after the budget always works.
+            assert!(!s.read_fails(recall, 2));
+            assert!(!s.read_fails(recall, 3));
+        }
+        // The rate is roughly honoured across recalls.
+        let failures = (0..2_000u64).filter(|&r| s.read_fails(r, 0)).count();
+        assert!(
+            (800..1200).contains(&failures),
+            "~50% expected, got {failures}/2000"
+        );
+    }
+
+    #[test]
+    fn slow_windows_gate_the_rate_factor() {
+        let plan = FaultPlan {
+            slow_drive: Some(SlowDriveClause {
+                rate_factor: 0.25,
+                mean_up_s: 100.0,
+                down_s: 50.0,
+            }),
+            ..FaultPlan::none()
+        };
+        let s = FaultSchedule::materialize(&plan, 11, 0, 10_000_000);
+        let degraded: Vec<SimMs> = (0..10_000_000)
+            .step_by(10_000)
+            .filter(|&t| s.rate_factor_at(DeviceClass::TapeSilo, t) < 1.0)
+            .collect();
+        assert!(!degraded.is_empty(), "windows must bite");
+        for &t in &degraded {
+            assert_eq!(s.rate_factor_at(DeviceClass::TapeSilo, t), 0.25);
+            // Disks never degrade.
+            assert_eq!(s.rate_factor_at(DeviceClass::Disk, t), 1.0);
+        }
+        // Roughly a third of the time is degraded (50 of every ~150 s).
+        let share = degraded.len() as f64 / 1_000.0;
+        assert!((0.15..0.55).contains(&share), "degraded share {share}");
+    }
+
+    #[test]
+    fn outage_overlap_attributes_by_tier() {
+        let s = FaultSchedule {
+            windows: vec![
+                OutageWindow {
+                    target: FaultTarget::SiloDrive,
+                    start_ms: 100,
+                    end_ms: 200,
+                },
+                OutageWindow {
+                    target: FaultTarget::Operator,
+                    start_ms: 150,
+                    end_ms: 400,
+                },
+            ],
+            active: true,
+            ..FaultSchedule::none()
+        };
+        // Silo wait overlapping [50, 250): only the silo window counts.
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 50, 250), 100);
+        // Manual wait overlapping the same span: the operator window.
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeManual, 50, 250), 100);
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeManual, 0, 1000), 250);
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 200, 1000), 0);
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 300, 100), 0);
+    }
+
+    #[test]
+    fn overlapping_same_tier_windows_attribute_as_a_union() {
+        // Two silo-tier windows (a drive and the robot arm) overlap on
+        // [150, 200): a wait spanning both must count each millisecond
+        // once, never twice.
+        let s = FaultSchedule {
+            windows: vec![
+                OutageWindow {
+                    target: FaultTarget::SiloDrive,
+                    start_ms: 100,
+                    end_ms: 200,
+                },
+                OutageWindow {
+                    target: FaultTarget::RobotArm,
+                    start_ms: 150,
+                    end_ms: 300,
+                },
+            ],
+            active: true,
+            ..FaultSchedule::none()
+        };
+        // Union over [0, 1000) is [100, 300) = 200 ms, not 250.
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 0, 1000), 200);
+        // A wait inside the doubly-covered region counts once.
+        assert_eq!(s.outage_overlap_ms(DeviceClass::TapeSilo, 150, 200), 50);
+        // A window fully inside an already-counted one adds nothing.
+        let nested = FaultSchedule {
+            windows: vec![
+                OutageWindow {
+                    target: FaultTarget::SiloDrive,
+                    start_ms: 100,
+                    end_ms: 400,
+                },
+                OutageWindow {
+                    target: FaultTarget::SiloDrive,
+                    start_ms: 150,
+                    end_ms: 250,
+                },
+            ],
+            active: true,
+            ..FaultSchedule::none()
+        };
+        assert_eq!(
+            nested.outage_overlap_ms(DeviceClass::TapeSilo, 0, 1000),
+            300
+        );
+    }
+}

@@ -52,7 +52,9 @@
 use std::collections::HashMap;
 
 use fmig_migrate::cache::{CacheConfig, CacheOp, CacheStats, DiskCache, ReadResult};
-use fmig_migrate::eval::{EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace};
+use fmig_migrate::eval::{
+    DegradedOutcome, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
+};
 use fmig_migrate::policy::MigrationPolicy;
 use fmig_trace::DeviceClass;
 use rand::rngs::SmallRng;
@@ -61,9 +63,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
 use crate::event::{EventQueue, SimMs, MS};
+use crate::fault::{FaultPlan, FaultSchedule, FaultTarget};
 use crate::metrics::{LatencyHistogram, Utilisation};
 use crate::pool::Pool;
 use crate::sim::standard_normal;
+
+/// How long after the last arrival materialized fault windows may still
+/// begin: the queues keep draining past the final reference, and an
+/// outage or slow window during the drain is as real as one during it.
+const FAULT_HORIZON_SLACK_MS: SimMs = 4 * 3600 * MS;
 
 /// How one reference reached its first byte in the closed loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,8 +134,13 @@ pub struct HierarchyMetrics {
     /// Mean busy units per resource over the run.
     pub utilisation: Utilisation,
     /// The cache's own counters; identical to what open-loop replay of
-    /// the same trace under the same policy produces.
+    /// the same trace under the same policy produces — with or without
+    /// a fault plan, since faults only move time, never cache decisions.
     pub cache: CacheStats,
+    /// Degraded-mode attribution when the run carried an active
+    /// [`FaultPlan`]; `None` on fault-free runs, keeping them
+    /// bit-identical to the pre-fault engine.
+    pub fault: Option<DegradedOutcome>,
 }
 
 impl HierarchyMetrics {
@@ -145,6 +158,7 @@ impl HierarchyMetrics {
             flush_queue_wait: LatencyHistogram::new(),
             utilisation: Utilisation::default(),
             cache: CacheStats::default(),
+            fault: None,
         }
     }
 
@@ -168,6 +182,7 @@ impl HierarchyMetrics {
             recalls: self.recalls,
             flush_bytes: self.flush_bytes,
             mean_flush_queue_s: self.flush_queue_wait.mean(),
+            degraded: self.fault,
         }
     }
 }
@@ -217,7 +232,46 @@ impl HierarchySimulator {
         refs: &[PreparedRef],
         sink: impl FnMut(RefOutcome),
     ) -> HierarchyMetrics {
-        Engine::new(&self.config, cache, policy).run(refs, sink)
+        self.run_streaming_with_faults(cache, policy, refs, &FaultPlan::none(), sink)
+    }
+
+    /// Runs the closed loop under a degraded-mode [`FaultPlan`]: drive
+    /// and mounter outages park pool units, recalls suffer bounded-retry
+    /// media read errors (waiters stay coalesced across retries), and
+    /// slow-drive windows stretch tape transfers. The plan's concrete
+    /// schedule derives from [`SimConfig::seed`], so equal seeds replay
+    /// byte-identically; an empty plan is bit-identical to [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if references are not sorted by time.
+    pub fn run_with_faults(
+        &self,
+        cache: CacheConfig,
+        policy: &dyn MigrationPolicy,
+        refs: &[PreparedRef],
+        plan: &FaultPlan,
+    ) -> HierarchyMetrics {
+        self.run_streaming_with_faults(cache, policy, refs, plan, |_| {})
+    }
+
+    /// Streaming variant of [`Self::run_with_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if references are not sorted by time.
+    pub fn run_streaming_with_faults(
+        &self,
+        cache: CacheConfig,
+        policy: &dyn MigrationPolicy,
+        refs: &[PreparedRef],
+        plan: &FaultPlan,
+        sink: impl FnMut(RefOutcome),
+    ) -> HierarchyMetrics {
+        let start_ms = refs.first().map_or(0, |r| r.time * MS);
+        let end_ms = refs.last().map_or(0, |r| r.time * MS) + FAULT_HORIZON_SLACK_MS;
+        let schedule = FaultSchedule::materialize(plan, self.config.seed, start_ms, end_ms);
+        Engine::new(&self.config, cache, policy, schedule).run(refs, sink)
     }
 
     /// Evaluates one policy latency-true: the closed-loop run supplies
@@ -231,7 +285,21 @@ impl HierarchySimulator {
         policy: &dyn MigrationPolicy,
         eval: &EvalConfig,
     ) -> PolicyOutcome {
-        let metrics = self.run(eval.cache, policy, prepared.refs());
+        self.evaluate_with_faults(prepared, policy, eval, &FaultPlan::none())
+    }
+
+    /// [`Self::evaluate`] under a [`FaultPlan`]: identical cache
+    /// counters and miss ratios (faults move time, not decisions), wait
+    /// distributions and person-minutes measured in the degraded world,
+    /// and [`LatencyOutcome::degraded`] attributing the damage.
+    pub fn evaluate_with_faults(
+        &self,
+        prepared: &PreparedTrace,
+        policy: &dyn MigrationPolicy,
+        eval: &EvalConfig,
+        plan: &FaultPlan,
+    ) -> PolicyOutcome {
+        let metrics = self.run_with_faults(eval.cache, policy, prepared.refs(), plan);
         let stats = metrics.cache;
         let mut outcome = PolicyOutcome {
             name: policy.name(),
@@ -249,7 +317,7 @@ impl HierarchySimulator {
 
 /// Events of the closed-loop engine. `usize` payloads are indices into
 /// the engine's job table except for `Dispatch`, which names a
-/// reference.
+/// reference, and `OutageStart`, which names a fault-schedule window.
 #[derive(Debug, Clone, Copy)]
 enum HEv {
     /// MSCP overhead elapsed for a foreground reference.
@@ -265,10 +333,16 @@ enum HEv {
     TransferDone(usize),
     /// Tape drive finished unloading.
     DriveFree(usize),
+    /// A fault-schedule outage window opens: park one unit of its pool.
+    OutageStart(usize),
+    /// An outage hold's repair finished: return the parked unit.
+    OutageEnd(usize),
+    /// A failed recall's retry backoff elapsed; rejoin the drive queue.
+    RetryReady(usize),
 }
 
-/// A unit of device work: foreground disk service, a tape recall, or a
-/// background tape flush.
+/// A unit of device work: foreground disk service, a tape recall, a
+/// background tape flush, or a fault-injection hold parking a unit.
 #[derive(Debug, Clone, Copy)]
 struct Job {
     kind: JobKind,
@@ -278,7 +352,8 @@ struct Job {
     write: bool,
     size: u64,
     spindle: usize,
-    /// When the job entered its device queue (flush contention metric).
+    /// When the job entered its device queue (flush contention and
+    /// outage-attribution metrics).
     queued_ms: SimMs,
 }
 
@@ -287,9 +362,23 @@ enum JobKind {
     /// Foreground disk service for reference `r` (hit or write).
     Disk { r: usize },
     /// Tape recall for `file`, issued by reference `r`.
-    Recall { file: u64, r: usize },
+    Recall {
+        file: u64,
+        r: usize,
+        /// Recall sequence number (the fault schedule's read-error
+        /// counter).
+        seq: u64,
+        /// Failed attempts so far; bounded by the plan's retry budget.
+        attempt: u32,
+        /// This attempt was chosen to fail at its first byte; set at
+        /// transfer start, consumed and cleared at transfer end.
+        failing: bool,
+    },
     /// Background tape flush; `gated` is the reference stalled on it.
     Flush { gated: Option<usize> },
+    /// Fault injection: hold one unit of `target`'s pool until `end_ms`
+    /// (a failed drive, a robot under repair, an operator off shift).
+    OutageHold { target: FaultTarget, end_ms: SimMs },
 }
 
 /// Per-reference progress state.
@@ -321,6 +410,12 @@ struct Engine<'a, 'p> {
     cache: DiskCache<'p>,
     rng: SmallRng,
     queue: EventQueue<HEv>,
+    /// The materialized fault schedule; inert on fault-free runs, where
+    /// it injects no events and decides no failures.
+    schedule: FaultSchedule,
+    /// Degraded-mode accumulator; `Some` exactly when the schedule is
+    /// active.
+    fault: Option<DegradedOutcome>,
     states: Vec<RefState>,
     jobs: Vec<Job>,
     /// Recalls in flight, by file id (only with coalescing on).
@@ -345,12 +440,19 @@ struct Engine<'a, 'p> {
 }
 
 impl<'a, 'p> Engine<'a, 'p> {
-    fn new(cfg: &'a SimConfig, cache_cfg: CacheConfig, policy: &'p dyn MigrationPolicy) -> Self {
+    fn new(
+        cfg: &'a SimConfig,
+        cache_cfg: CacheConfig,
+        policy: &'p dyn MigrationPolicy,
+        schedule: FaultSchedule,
+    ) -> Self {
         Engine {
             cfg,
             cache: DiskCache::new(cache_cfg, policy),
             rng: SmallRng::seed_from_u64(cfg.seed),
             queue: EventQueue::new(),
+            fault: schedule.is_active().then(DegradedOutcome::default),
+            schedule,
             states: Vec::new(),
             jobs: Vec::new(),
             outstanding: HashMap::new(),
@@ -372,6 +474,13 @@ impl<'a, 'p> Engine<'a, 'p> {
     }
 
     fn run(mut self, refs: &[PreparedRef], mut sink: impl FnMut(RefOutcome)) -> HierarchyMetrics {
+        // Fault windows become ordinary events in the same queue: an
+        // inert schedule pushes nothing and the event stream is exactly
+        // the pre-fault engine's.
+        for w in 0..self.schedule.windows().len() {
+            self.queue
+                .push(self.schedule.windows()[w].start_ms, HEv::OutageStart(w));
+        }
         let mut prev_ms = SimMs::MIN;
         for (i, pr) in refs.iter().enumerate() {
             let t_ms = pr.time * MS;
@@ -393,6 +502,7 @@ impl<'a, 'p> Engine<'a, 'p> {
 
         self.metrics.requests = self.states.len() as u64;
         self.metrics.cache = *self.cache.stats();
+        self.metrics.fault = self.fault;
         let span = (
             self.first_ms.min(self.last_ms),
             self.last_ms.max(self.first_ms),
@@ -561,6 +671,88 @@ impl<'a, 'p> Engine<'a, 'p> {
             HEv::SeekDone(j) => self.seek_done(j, now),
             HEv::TransferDone(j) => self.transfer_done(j, now),
             HEv::DriveFree(j) => self.drive_free(j, now),
+            HEv::OutageStart(w) => self.outage_start(w, now),
+            HEv::OutageEnd(j) => self.outage_release(j, now),
+            HEv::RetryReady(j) => {
+                self.jobs[j].queued_ms = now;
+                self.join_tape_queue(j, now);
+            }
+        }
+    }
+
+    /// A fault window opens: contend for one unit of the target pool
+    /// like any other job. If the pool is saturated the hold queues —
+    /// the unit "fails" as it comes free, which is how a busy drive
+    /// dies mid-shift.
+    fn outage_start(&mut self, w: usize, now: SimMs) {
+        let window = self.schedule.windows()[w];
+        let j = self.jobs.len();
+        self.jobs.push(Job {
+            kind: JobKind::OutageHold {
+                target: window.target,
+                end_ms: window.end_ms,
+            },
+            device: window.target.tier(),
+            write: false,
+            size: 0,
+            spindle: 0,
+            queued_ms: now,
+        });
+        let granted = match window.target {
+            FaultTarget::SiloDrive => self.silo.acquire(j, now),
+            FaultTarget::ManualDrive => self.manual.acquire(j, now),
+            FaultTarget::RobotArm => self.robot.acquire(j, now),
+            FaultTarget::Operator => self.operators.acquire(j, now),
+        };
+        if granted {
+            self.outage_hold_granted(j, now);
+        }
+    }
+
+    /// A hold owns its unit: park it until the window's repair time, or
+    /// hand it straight back when the window already elapsed while the
+    /// hold sat in the queue.
+    fn outage_hold_granted(&mut self, j: usize, now: SimMs) {
+        let JobKind::OutageHold { end_ms, .. } = self.jobs[j].kind else {
+            unreachable!("outage grant on a non-hold job");
+        };
+        if now >= end_ms {
+            self.outage_release(j, now);
+        } else {
+            if let Some(f) = &mut self.fault {
+                f.outage_events += 1;
+            }
+            self.queue.push(end_ms, HEv::OutageEnd(j));
+        }
+    }
+
+    /// Repair done (or the window expired in-queue): return the unit to
+    /// its pool and wake the next waiter through the normal grant path.
+    fn outage_release(&mut self, j: usize, now: SimMs) {
+        let JobKind::OutageHold { target, .. } = self.jobs[j].kind else {
+            unreachable!("outage release on a non-hold job");
+        };
+        match target {
+            FaultTarget::SiloDrive => {
+                if let Some(n) = self.silo.release(now) {
+                    self.drive_granted(n, now);
+                }
+            }
+            FaultTarget::ManualDrive => {
+                if let Some(n) = self.manual.release(now) {
+                    self.drive_granted(n, now);
+                }
+            }
+            FaultTarget::RobotArm => {
+                if let Some(n) = self.robot.release(now) {
+                    self.mount_started(n, now);
+                }
+            }
+            FaultTarget::Operator => {
+                if let Some(n) = self.operators.release(now) {
+                    self.mount_started(n, now);
+                }
+            }
         }
     }
 
@@ -580,7 +772,15 @@ impl<'a, 'p> Engine<'a, 'p> {
                 };
                 let j = self.jobs.len();
                 self.jobs.push(Job {
-                    kind: JobKind::Recall { file: id, r },
+                    kind: JobKind::Recall {
+                        file: id,
+                        r,
+                        // The issue-order sequence number keys the fault
+                        // schedule's counter-based read-error decisions.
+                        seq: self.metrics.recalls,
+                        attempt: 0,
+                        failing: false,
+                    },
                     device: tape,
                     write: false,
                     size,
@@ -644,11 +844,17 @@ impl<'a, 'p> Engine<'a, 'p> {
     /// Drive held: mount if needed, else go straight to a tape mover.
     fn drive_granted(&mut self, j: usize, now: SimMs) {
         let job = self.jobs[j];
+        if let JobKind::OutageHold { .. } = job.kind {
+            // A queued fault window finally got its unit.
+            self.outage_hold_granted(j, now);
+            return;
+        }
         if let JobKind::Flush { .. } = job.kind {
             self.metrics
                 .flush_queue_wait
                 .record((now - job.queued_ms).max(0) as f64 / MS as f64);
         }
+        self.attribute_outage_wait(job.device, job.queued_ms, now);
         if job.write {
             let slot = cart_slot(job.device);
             if self.cart_remaining[slot] >= job.size {
@@ -661,6 +867,9 @@ impl<'a, 'p> Engine<'a, 'p> {
         }
         // Reads always mount the file's cartridge; writes mount a fresh
         // append cartridge when the current one is full.
+        // Re-stamp the queue-entry time: the job now waits in the
+        // mounter queue, a separate outage-attribution interval.
+        self.jobs[j].queued_ms = now;
         let granted = match job.device {
             DeviceClass::TapeSilo => self.robot.acquire(j, now),
             DeviceClass::TapeManual => self.operators.acquire(j, now),
@@ -673,6 +882,12 @@ impl<'a, 'p> Engine<'a, 'p> {
 
     /// Robot arm or operator engaged: schedule the mount completion.
     fn mount_started(&mut self, j: usize, now: SimMs) {
+        if let JobKind::OutageHold { .. } = self.jobs[j].kind {
+            // A queued mounter-outage window finally got its unit.
+            self.outage_hold_granted(j, now);
+            return;
+        }
+        self.attribute_outage_wait(self.jobs[j].device, self.jobs[j].queued_ms, now);
         let d = match self.jobs[j].device {
             DeviceClass::TapeSilo => self.jitter_ms(self.cfg.robot_mount_s, 0.2),
             DeviceClass::TapeManual => self.lognormal_ms(
@@ -682,6 +897,17 @@ impl<'a, 'p> Engine<'a, 'p> {
             DeviceClass::Disk => unreachable!(),
         };
         self.queue.push(now + d, HEv::MountDone(j));
+    }
+
+    /// Adds the slice of a queue wait that overlapped an outage window
+    /// of the waiting job's tier to the degraded-mode accumulator.
+    fn attribute_outage_wait(&mut self, tier: DeviceClass, queued_ms: SimMs, now: SimMs) {
+        if let Some(f) = &mut self.fault {
+            let overlap = self.schedule.outage_overlap_ms(tier, queued_ms, now);
+            if overlap > 0 {
+                f.outage_wait_s += overlap as f64 / MS as f64;
+            }
+        }
     }
 
     /// Mount finished: hand the mounter over and position the tape.
@@ -716,7 +942,9 @@ impl<'a, 'p> Engine<'a, 'p> {
         }
     }
 
-    /// The transfer begins — this is the job's first byte.
+    /// The transfer begins — this is the job's first byte (unless this
+    /// recall attempt is fated to fail, in which case nobody is served
+    /// and the failure surfaces at transfer end).
     fn mover_granted(&mut self, j: usize, now: SimMs) {
         let job = self.jobs[j];
         let setup_ms = if job.device == DeviceClass::Disk {
@@ -727,19 +955,46 @@ impl<'a, 'p> Engine<'a, 'p> {
         let first_byte = now + setup_ms;
         match job.kind {
             JobKind::Disk { r } => self.resolve_ref(r, first_byte),
-            JobKind::Recall { file, r } => {
-                self.resolve_ref(r, first_byte);
-                if let Some(o) = self.outstanding.get_mut(&file) {
-                    o.first_byte_ms = Some(first_byte);
-                    let waiters = std::mem::take(&mut o.waiters);
-                    for w in waiters {
-                        self.resolve_ref(w, first_byte);
+            JobKind::Recall {
+                file,
+                r,
+                seq,
+                attempt,
+                ..
+            } => {
+                // The media read error is decided before anyone is
+                // served: a failing attempt reads the tape but delivers
+                // garbage, so the requester and every coalesced waiter
+                // stay parked for the retry.
+                if self.schedule.read_fails(seq, attempt) {
+                    let JobKind::Recall { failing, .. } = &mut self.jobs[j].kind else {
+                        unreachable!("job kind cannot change");
+                    };
+                    *failing = true;
+                } else {
+                    self.resolve_ref(r, first_byte);
+                    if let Some(o) = self.outstanding.get_mut(&file) {
+                        o.first_byte_ms = Some(first_byte);
+                        let waiters = std::mem::take(&mut o.waiters);
+                        for w in waiters {
+                            self.resolve_ref(w, first_byte);
+                        }
                     }
                 }
             }
             JobKind::Flush { .. } => {}
+            JobKind::OutageHold { .. } => unreachable!("holds never reach a mover"),
         }
-        let rate = self.rate_of(job.device);
+        // Slow-drive degradation scales the healthy rate; a factor of
+        // exactly 1.0 (no window, or no plan) leaves the arithmetic
+        // bit-identical to the fault-free engine.
+        let factor = self.schedule.rate_factor_at(job.device, first_byte);
+        if factor < 1.0 {
+            if let Some(f) = &mut self.fault {
+                f.slow_transfers += 1;
+            }
+        }
+        let rate = self.rate_of(job.device) * factor;
         let jitter = 1.0
             + self
                 .rng
@@ -770,14 +1025,44 @@ impl<'a, 'p> Engine<'a, 'p> {
                     self.spindle_granted(n, now);
                 }
             }
-            JobKind::Recall { file, .. } => {
-                // The file is fully staged: further reads are plain hits.
-                self.cache.fetch_complete(file);
-                if let Some(o) = self.outstanding.remove(&file) {
-                    debug_assert!(o.waiters.is_empty(), "waiters resolve at first byte");
-                }
+            JobKind::Recall {
+                file,
+                failing: attempt_failed,
+                ..
+            } => {
                 let d = (self.cfg.tape_unload_s * MS as f64) as SimMs;
-                self.queue.push(now + d, HEv::DriveFree(j));
+                if attempt_failed {
+                    // Media read error: the bytes on disk are garbage.
+                    // Re-arm the cache's outstanding-fetch state (reads
+                    // keep coalescing), release the drive, and rejoin
+                    // the queue after the backoff — waiters parked on
+                    // the outstanding recall ride along to the retry.
+                    self.cache.fetch_failed(file);
+                    if let Some(f) = &mut self.fault {
+                        f.read_retries += 1;
+                    }
+                    let JobKind::Recall {
+                        failing, attempt, ..
+                    } = &mut self.jobs[j].kind
+                    else {
+                        unreachable!("job kind cannot change");
+                    };
+                    *failing = false;
+                    *attempt += 1;
+                    self.queue.push(now + d, HEv::DriveFree(j));
+                    self.queue.push(
+                        now + d + self.schedule.retry_backoff_ms(),
+                        HEv::RetryReady(j),
+                    );
+                } else {
+                    // The file is fully staged: further reads are plain
+                    // hits.
+                    self.cache.fetch_complete(file);
+                    if let Some(o) = self.outstanding.remove(&file) {
+                        debug_assert!(o.waiters.is_empty(), "waiters resolve at first byte");
+                    }
+                    self.queue.push(now + d, HEv::DriveFree(j));
+                }
             }
             JobKind::Flush { gated } => {
                 if let Some(r) = gated {
@@ -789,6 +1074,7 @@ impl<'a, 'p> Engine<'a, 'p> {
                 let d = (self.cfg.tape_unload_s * MS as f64) as SimMs;
                 self.queue.push(now + d, HEv::DriveFree(j));
             }
+            JobKind::OutageHold { .. } => unreachable!("holds never transfer"),
         }
     }
 
@@ -1152,6 +1438,162 @@ mod tests {
         let _ = HierarchySimulator::new(SimConfig::default()).run(cache_cfg(1000), &lru, &refs);
     }
 
+    fn flaky_reads(prob: f64, retries: u32, backoff_s: f64) -> FaultPlan {
+        FaultPlan {
+            read_error_prob: prob,
+            max_read_retries: retries,
+            retry_backoff_s: backoff_s,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_the_plain_run() {
+        let prepared = skewed_prepared();
+        let lru = Lru;
+        let sim = HierarchySimulator::new(SimConfig::default().with_seed(7));
+        let plain = sim.run(cache_cfg(5_000_000), &lru, prepared.refs());
+        let faulted = sim.run_with_faults(
+            cache_cfg(5_000_000),
+            &lru,
+            prepared.refs(),
+            &FaultPlan::none(),
+        );
+        assert_eq!(plain, faulted);
+        assert!(plain.fault.is_none());
+    }
+
+    #[test]
+    fn read_errors_retry_with_backoff_and_eventually_serve() {
+        let prepared = skewed_prepared();
+        let lru = Lru;
+        let sim = HierarchySimulator::new(SimConfig::uncontended().with_seed(11));
+        let healthy = sim.run(cache_cfg(5_000_000), &lru, prepared.refs());
+        let plan = flaky_reads(0.5, 3, 60.0);
+        let mut outcomes = Vec::new();
+        let degraded = sim.run_streaming_with_faults(
+            cache_cfg(5_000_000),
+            &lru,
+            prepared.refs(),
+            &plan,
+            |o| outcomes.push(o),
+        );
+        // Every reference still reaches its first byte, in order.
+        assert_eq!(outcomes.len(), prepared.len());
+        let fault = degraded.fault.expect("fault metrics recorded");
+        assert!(fault.read_retries > 0, "a 50% error rate must retry");
+        // Faults move time, never cache decisions: counters identical.
+        assert_eq!(healthy.cache, degraded.cache);
+        // Longer-lived recalls absorb more re-misses by coalescing, so
+        // the degraded run can only issue *fewer* recalls, never more.
+        assert!(degraded.recalls > 0 && degraded.recalls <= healthy.recalls);
+        // Retries make misses slower on average (each failed attempt
+        // pays a full mount + seek + transfer + backoff again).
+        assert!(
+            degraded.miss_wait.mean() > healthy.miss_wait.mean(),
+            "degraded {} vs healthy {}",
+            degraded.miss_wait.mean(),
+            healthy.miss_wait.mean()
+        );
+    }
+
+    #[test]
+    fn failed_recalls_keep_waiters_coalesced_across_retries() {
+        // Every recall fails twice before succeeding (prob 1, budget 2):
+        // concurrent readers of the file must still share one recall and
+        // resolve together at the successful attempt's first byte.
+        let refs: Vec<PreparedRef> = (0..5).map(|k| silo_read(7, k, 10_000_000)).collect();
+        let lru = Lru;
+        let sim = HierarchySimulator::new(SimConfig::uncontended().with_seed(3));
+        let plan = flaky_reads(1.0, 2, 30.0);
+        let mut outcomes = Vec::new();
+        let m = sim.run_streaming_with_faults(cache_cfg(1 << 30), &lru, &refs, &plan, |o| {
+            outcomes.push(o)
+        });
+        assert_eq!(m.recalls, 1, "retries must not issue extra recalls");
+        assert_eq!(m.delayed_hits, 4);
+        assert_eq!(m.fault.expect("fault metrics").read_retries, 2);
+        let miss = outcomes
+            .iter()
+            .find(|o| o.served == ServedBy::Recall)
+            .expect("the miss");
+        // Two failed attempts: at least two extra mount+transfer+backoff
+        // rounds before anyone is served.
+        assert!(miss.wait_s > 120.0, "retries invisible: {}", miss.wait_s);
+        for o in outcomes.iter().filter(|o| o.served == ServedBy::DelayedHit) {
+            assert!(o.wait_s <= miss.wait_s, "waiter outlived the fetch");
+        }
+    }
+
+    #[test]
+    fn drive_outages_park_the_pool_and_attribute_wait() {
+        // One silo drive, an outage process that is practically always
+        // down: recalls queue behind the parked drive.
+        let refs: Vec<PreparedRef> = (0..6)
+            .map(|k| silo_read(k as u64, k * 30, 2_000_000))
+            .collect();
+        let lru = Lru;
+        let cfg = SimConfig {
+            silo_drives: 2,
+            ..SimConfig::uncontended()
+        };
+        let sim = HierarchySimulator::new(cfg.with_seed(5));
+        let healthy = sim.run(cache_cfg(1 << 30), &lru, &refs);
+        let plan = FaultPlan {
+            outages: vec![crate::fault::OutageClause {
+                target: FaultTarget::SiloDrive,
+                mean_up_s: 40.0,
+                down_s: 600.0,
+                jitter: 0.2,
+            }],
+            ..FaultPlan::none()
+        };
+        let degraded = sim.run_with_faults(cache_cfg(1 << 30), &lru, &refs, &plan);
+        let fault = degraded.fault.expect("fault metrics");
+        assert!(fault.outage_events > 0, "outage windows must park a unit");
+        assert!(
+            fault.outage_wait_s > 0.0,
+            "queue wait overlapping an outage must be attributed"
+        );
+        assert!(
+            degraded.miss_wait.mean() > healthy.miss_wait.mean(),
+            "parked drives must slow recalls: degraded {} vs healthy {}",
+            degraded.miss_wait.mean(),
+            healthy.miss_wait.mean()
+        );
+        assert_eq!(healthy.cache, degraded.cache);
+    }
+
+    #[test]
+    fn slow_drive_windows_stretch_transfers() {
+        // Back-to-back large recalls on one drive: with an always-on
+        // slow window, the first transfer occupies the drive ~4x longer,
+        // so the second recall's first byte arrives later.
+        let refs = vec![silo_read(1, 0, 60_000_000), silo_read(2, 1, 60_000_000)];
+        let lru = Lru;
+        let cfg = SimConfig {
+            silo_drives: 1,
+            ..SimConfig::uncontended()
+        };
+        let sim = HierarchySimulator::new(cfg.with_seed(9));
+        let healthy = sim.run(cache_cfg(1 << 30), &lru, &refs);
+        let plan = FaultPlan {
+            slow_drive: Some(crate::fault::SlowDriveClause {
+                rate_factor: 0.25,
+                mean_up_s: 0.001,
+                down_s: 1e9,
+            }),
+            ..FaultPlan::none()
+        };
+        let degraded = sim.run_with_faults(cache_cfg(1 << 30), &lru, &refs, &plan);
+        let fault = degraded.fault.expect("fault metrics");
+        assert!(fault.slow_transfers > 0, "transfers must hit the window");
+        assert!(
+            degraded.miss_wait.quantile(1.0) > healthy.miss_wait.quantile(1.0),
+            "a slow drive must delay the queued recall"
+        );
+    }
+
     #[test]
     fn manual_tier_files_restage_from_the_shelf() {
         let refs = vec![PreparedRef {
@@ -1178,8 +1620,60 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::fault::{OutageClause, SlowDriveClause};
     use fmig_migrate::policy::Lru;
     use proptest::prelude::*;
+
+    proptest! {
+        /// Fault determinism at the engine level: one (plan, seed) pair
+        /// replays to equal metrics; a different seed moves the noise;
+        /// and the cache counters always equal the fault-free run's —
+        /// faults move time, never decisions.
+        #[test]
+        fn fault_runs_are_deterministic_and_decision_preserving(
+            seed in 0u64..500,
+            prob in 0.0f64..0.9,
+            retries in 0u32..4,
+            n in 2usize..10,
+        ) {
+            let refs: Vec<PreparedRef> = (0..n)
+                .map(|k| PreparedRef {
+                    id: (k % 3) as u64,
+                    size: 1_000_000 + k as u64 * 700_000,
+                    write: k % 4 == 0,
+                    time: k as i64 * 20,
+                    next_use: None,
+                    device: DeviceClass::TapeSilo,
+                })
+                .collect();
+            let plan = FaultPlan {
+                outages: vec![OutageClause {
+                    target: FaultTarget::SiloDrive,
+                    mean_up_s: 300.0,
+                    down_s: 120.0,
+                    jitter: 0.3,
+                }],
+                read_error_prob: prob,
+                max_read_retries: retries,
+                retry_backoff_s: 20.0,
+                slow_drive: Some(SlowDriveClause {
+                    rate_factor: 0.5,
+                    mean_up_s: 200.0,
+                    down_s: 90.0,
+                }),
+            };
+            let lru = Lru;
+            let sim = HierarchySimulator::new(SimConfig::uncontended().with_seed(seed));
+            let a = sim.run_with_faults(CacheConfig::with_capacity(1 << 24), &lru, &refs, &plan);
+            let b = sim.run_with_faults(CacheConfig::with_capacity(1 << 24), &lru, &refs, &plan);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.fault.is_some());
+            let healthy = sim.run(CacheConfig::with_capacity(1 << 24), &lru, &refs);
+            prop_assert_eq!(a.cache, healthy.cache);
+            // Slower recalls can only absorb more re-misses, not fewer.
+            prop_assert!(a.recalls <= healthy.recalls);
+        }
+    }
 
     proptest! {
         /// Delayed-hit coalescing semantics: N concurrent references to

@@ -33,6 +33,7 @@
 pub mod config;
 pub mod cutthrough;
 pub mod event;
+pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
 pub mod pool;
@@ -42,6 +43,7 @@ pub mod striping;
 pub use config::SimConfig;
 pub use cutthrough::{CutThroughModel, CutThroughReport};
 pub use event::{EventQueue, SimMs};
+pub use fault::{FaultPlan, FaultSchedule, FaultTarget, OutageClause, SlowDriveClause};
 pub use hierarchy::{HierarchyMetrics, HierarchySimulator, RefOutcome, ServedBy};
 pub use metrics::{LatencyHistogram, Metrics, Utilisation};
 pub use pool::Pool;

@@ -12,7 +12,7 @@
 //! cargo run --release --example policy_sweep
 //! ```
 
-use fmig::{run_sweep, PolicyId, PresetId, SweepConfig};
+use fmig::{run_sweep, FaultScenarioId, PolicyId, PresetId, SweepConfig};
 
 fn main() {
     let config = SweepConfig {
@@ -29,7 +29,8 @@ fn main() {
         base_seed: 1993,
         simulate_devices: true,
         latency: false, // open-loop: miss ratios only, cheap
-        workers: 0,     // one per CPU
+        faults: vec![FaultScenarioId::None],
+        workers: 0, // one per CPU
     };
     println!(
         "sweep: {} cells in {} shards (policy x preset x scale x cache)\n",

@@ -1,0 +1,295 @@
+//! Dedicated integration coverage for the four `fmig-migrate` study
+//! modules that previously had none outside their own unit tests:
+//! request dedup (§6-b), sequential prefetch (§5.2.1), lazy write-behind
+//! (§6-d), and the disk/tape dividing point (§6-c). Each gets targeted
+//! scenario tests plus at least one property test over randomized
+//! traces.
+
+use fmig_migrate::{dedup, dividing, prefetch, writeback};
+use fmig_trace::time::{HOUR, TRACE_EPOCH};
+use fmig_trace::{Direction, Endpoint, TraceRecord};
+use proptest::prelude::*;
+
+fn read(path: &str, t: i64) -> TraceRecord {
+    TraceRecord::read(Endpoint::MssTapeSilo, TRACE_EPOCH.add_secs(t), 10, path, 1)
+}
+
+fn write(path: &str, t: i64) -> TraceRecord {
+    TraceRecord::write(Endpoint::MssTapeSilo, TRACE_EPOCH.add_secs(t), 10, path, 1)
+}
+
+/// A randomized, time-sorted trace over a small path population, with a
+/// sprinkling of writes and errored records.
+fn random_trace(steps: &[(u8, u8, bool)]) -> Vec<TraceRecord> {
+    let mut t = 0i64;
+    steps
+        .iter()
+        .map(|&(gap, file, is_write)| {
+            t += i64::from(gap) * 1200;
+            let path = format!("/exp/run{:03}", file % 12);
+            let mut rec = if is_write {
+                write(&path, t)
+            } else {
+                read(&path, t)
+            };
+            if file == 255 {
+                rec.error = Some(fmig_trace::ErrorKind::FileNotFound);
+            }
+            rec
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- dedup
+
+#[test]
+fn dedup_savings_follow_the_batch_script_shape() {
+    // A "batch script" pattern: every job re-requests the same input
+    // three times within minutes — two thirds of those are absorbable.
+    let mut records = Vec::new();
+    for job in 0..20i64 {
+        for burst in 0..3 {
+            records.push(read("/input/data", job * 2 * HOUR + burst * 300));
+        }
+    }
+    let report = dedup::eight_hour(records.iter());
+    assert_eq!(report.total, 60);
+    assert!(report.savings() > 0.6, "savings {}", report.savings());
+    // Filtering at the same window leaves nothing more to save.
+    let filtered = dedup::filter(&records, 8 * HOUR);
+    assert_eq!(dedup::eight_hour(filtered.iter()).duplicates, 0);
+}
+
+proptest! {
+    /// Dedup invariants on arbitrary traces: duplicates never exceed
+    /// examined requests, filtering is idempotent and exactly removes
+    /// the counted duplicates, and widening the window only finds more.
+    #[test]
+    fn dedup_filter_is_idempotent_and_consistent_with_analyze(
+        steps in proptest::collection::vec((0u8..4, 0u8..14, any::<bool>()), 0..120),
+        window_idx in 0usize..4,
+    ) {
+        let windows = [0i64, HOUR, 8 * HOUR, 48 * HOUR];
+        let window = windows[window_idx];
+        let records = random_trace(&steps);
+        let report = dedup::analyze(records.iter(), window);
+        prop_assert!(report.duplicates <= report.total);
+        let filtered = dedup::filter(&records, window);
+        // Every record filter drops is within the window of the last
+        // *kept* record, hence also of its previous occurrence — so
+        // filter can never drop more than analyze counted. (It can drop
+        // fewer: analyze slides its anchor along chained duplicates,
+        // filter keeps it at the cluster head.)
+        let ok = |rs: &[TraceRecord]| rs.iter().filter(|r| r.error.is_none()).count() as u64;
+        prop_assert!(ok(&filtered) >= report.total - report.duplicates);
+        prop_assert!(ok(&filtered) <= report.total);
+        prop_assert_eq!(dedup::analyze(filtered.iter(), window).duplicates, 0);
+        let refiltered = dedup::filter(&filtered, window);
+        prop_assert_eq!(&refiltered, &filtered);
+        // Monotone in the window.
+        for pair in dedup::window_sweep(&records, &windows).windows(2) {
+            prop_assert!(pair[1].duplicates >= pair[0].duplicates);
+        }
+    }
+}
+
+// ------------------------------------------------------------- prefetch
+
+#[test]
+fn prefetch_credits_resumed_sequences_once_per_step() {
+    // day000..day004 read in order, then the sequence resumes after a
+    // long gap: the stale step must not be credited.
+    let mut records: Vec<_> = (0..5)
+        .map(|i| read(&format!("/ccm/day{i:03}"), i * 600))
+        .collect();
+    records.push(read("/ccm/day005", 5 * 600 + 72 * HOUR));
+    let r = prefetch::daily(records.iter());
+    assert_eq!(r.reads, 6);
+    assert_eq!(r.predicted, 4, "the post-gap step is stale");
+}
+
+proptest! {
+    /// Prefetch invariants: predictions and waste are bounded by the
+    /// read count, and the sequence parser round-trips any well-formed
+    /// `dir/stem###` path it could have produced.
+    #[test]
+    fn prefetch_counts_are_bounded_and_parser_round_trips(
+        steps in proptest::collection::vec((0u8..4, 0u8..14, any::<bool>()), 0..120),
+        seq in 0u64..100_000,
+        stem in "[a-z]{1,8}",
+    ) {
+        let records = random_trace(&steps);
+        let r = prefetch::analyze(records.iter(), 24 * HOUR);
+        prop_assert!(r.predicted <= r.reads);
+        prop_assert!(r.wasted <= r.reads);
+        prop_assert!((0.0..=1.0).contains(&r.hit_fraction()));
+        prop_assert!((0.0..=1.0).contains(&r.waste_fraction()));
+        // Round-trip: a canonical sequence path parses back exactly.
+        let path = format!("/a/b/{stem}{seq:05}");
+        prop_assert_eq!(
+            prefetch::sequence_of(&path),
+            Some(("/a/b", stem.as_str(), seq))
+        );
+    }
+}
+
+// ------------------------------------------------------------ writeback
+
+#[test]
+fn deferred_writes_respect_reads_even_through_midnight_chains() {
+    // Write at 21:00, read back at 23:30 (inside the night window):
+    // the flush must still land before the read.
+    let records = vec![
+        write("/model/out", 21 * HOUR),
+        read("/model/out", 23 * HOUR + 1800),
+    ];
+    let deferred = writeback::defer_writes(&records);
+    let w = deferred
+        .iter()
+        .find(|r| r.direction() == Direction::Write)
+        .unwrap();
+    let r = deferred
+        .iter()
+        .find(|r| r.direction() == Direction::Read)
+        .unwrap();
+    assert!(w.start < r.start);
+    let report = writeback::deferral_report(&records, &deferred);
+    assert_eq!(report.writes, 1);
+}
+
+proptest! {
+    /// Write-behind invariants on arbitrary traces: the deferred trace
+    /// is a same-length, time-sorted permutation in which reads and
+    /// errors are untouched, no write moved backwards (rank-wise), and
+    /// every successful write still lands before the next read of its
+    /// path.
+    #[test]
+    fn defer_writes_preserves_reads_and_read_back_ordering(
+        steps in proptest::collection::vec((0u8..6, 0u8..10, any::<bool>()), 0..100),
+    ) {
+        let records = random_trace(&steps);
+        let deferred = writeback::defer_writes(&records);
+        prop_assert_eq!(deferred.len(), records.len());
+        for pair in deferred.windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start);
+        }
+        // Reads and errors pass through as a multiset.
+        let untouched = |rs: &[TraceRecord]| {
+            let mut v: Vec<(i64, String)> = rs
+                .iter()
+                .filter(|r| !r.is_ok() || r.direction() == Direction::Read)
+                .map(|r| (r.start.as_unix(), r.mss_path.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(untouched(&records), untouched(&deferred));
+        // Rank-wise, no write moves earlier.
+        let write_times = |rs: &[TraceRecord]| {
+            let mut v: Vec<i64> = rs
+                .iter()
+                .filter(|r| r.is_ok() && r.direction() == Direction::Write)
+                .map(|r| r.start.as_unix())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for (before, after) in write_times(&records).iter().zip(write_times(&deferred)) {
+            prop_assert!(after >= *before);
+        }
+        // Read-back safety: in the deferred trace, every successful
+        // read of a path that was written earlier in the *original*
+        // trace still sees the write flushed no later than the read
+        // (equality only when write and read shared a timestamp to
+        // begin with — the clamp is `next_read - 1`, floored at the
+        // write's own start).
+        for (i, rec) in records.iter().enumerate() {
+            if !rec.is_ok() || rec.direction() != Direction::Write {
+                continue;
+            }
+            let next_read = records[i + 1..]
+                .iter()
+                .find(|r| r.is_ok() && r.direction() == Direction::Read && r.mss_path == rec.mss_path);
+            if let Some(read_rec) = next_read {
+                let flushed = deferred
+                    .iter()
+                    .filter(|r| {
+                        r.is_ok()
+                            && r.direction() == Direction::Write
+                            && r.mss_path == rec.mss_path
+                            && r.start <= read_rec.start
+                    })
+                    .count();
+                prop_assert!(
+                    flushed > 0,
+                    "write of {} lost before its read-back", rec.mss_path
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- dividing
+
+#[test]
+fn dividing_point_feasibility_is_monotone_in_the_threshold() {
+    let study = dividing::DividingPointStudy {
+        disk_budget: 50_000_000,
+        ..dividing::DividingPointStudy::ncar()
+    };
+    let static_sizes: Vec<u64> = (1..=40).map(|i| i * 2_000_000).collect();
+    let thresholds: Vec<u64> = (0..=10).map(|i| i * 10_000_000).collect();
+    let rows = study.sweep(&static_sizes, &static_sizes, &thresholds);
+    // Once infeasible, larger thresholds stay infeasible.
+    let mut seen_infeasible = false;
+    for row in &rows {
+        if seen_infeasible {
+            assert!(!row.feasible, "feasibility must be monotone");
+        }
+        seen_infeasible |= !row.feasible;
+    }
+    assert!(seen_infeasible, "the budget must bind somewhere");
+    let best = study
+        .best_feasible(&static_sizes, &static_sizes, &thresholds)
+        .expect("a feasible row exists");
+    assert!(best.feasible);
+}
+
+proptest! {
+    /// Dividing-point invariants: resident bytes and disk share grow
+    /// with the threshold, response time never worsens as more accesses
+    /// move to the (strictly faster) disk tier, and `best_feasible`
+    /// returns the minimum-response feasible row.
+    #[test]
+    fn dividing_sweep_is_monotone_and_best_feasible_is_minimal(
+        sizes in proptest::collection::vec(1u64..50_000_000, 1..60),
+        budget in 1_000_000u64..2_000_000_000,
+    ) {
+        let study = dividing::DividingPointStudy {
+            disk_budget: budget,
+            ..dividing::DividingPointStudy::ncar()
+        };
+        let mut thresholds: Vec<u64> = vec![0, 1_000, 1_000_000, 10_000_000, 100_000_000];
+        thresholds.extend(sizes.iter().take(8).copied());
+        thresholds.sort_unstable();
+        let rows = study.sweep(&sizes, &sizes, &thresholds);
+        for pair in rows.windows(2) {
+            prop_assert!(pair[1].disk_resident_bytes >= pair[0].disk_resident_bytes);
+            prop_assert!(pair[1].disk_access_share >= pair[0].disk_access_share);
+            prop_assert!(pair[1].mean_response_s <= pair[0].mean_response_s + 1e-9);
+            if !pair[0].feasible {
+                prop_assert!(!pair[1].feasible);
+            }
+        }
+        if let Some(best) = study.best_feasible(&sizes, &sizes, &thresholds) {
+            prop_assert!(best.feasible);
+            for row in rows.iter().filter(|r| r.feasible) {
+                prop_assert!(best.mean_response_s <= row.mean_response_s + 1e-9);
+            }
+        } else {
+            // Only possible when even threshold 0 breaks the budget —
+            // which it cannot, since nothing is resident below it.
+            prop_assert!(rows.iter().all(|r| !r.feasible));
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //!   incremental policy prep) is observationally equal to its
 //!   materializing counterpart.
 
-use fmig::{run_sweep, PolicyId, PresetId, SweepConfig};
+use fmig::{run_sweep, FaultScenarioId, PolicyId, PresetId, SweepConfig};
 use fmig_migrate::eval::{evaluate_policies, EvalConfig, TracePrep};
 use fmig_migrate::policy::standard_suite;
 use fmig_sim::{MssSimulator, SimConfig};
@@ -23,6 +23,7 @@ fn sweep_matrix() -> SweepConfig {
         base_seed: 0xDE7E_2217,
         simulate_devices: true,
         latency: false,
+        faults: vec![FaultScenarioId::None],
         workers: 1,
     }
 }

@@ -1,0 +1,125 @@
+//! Persisted regression corpus for property tests.
+//!
+//! When a property fails, the harness shrinks the failing choice stream
+//! (see [`crate::shrink`]) and appends it to
+//! `<crate>/tests/corpus/<test_name>.txt`. Every later run replays the
+//! file's streams *before* random sampling, so a once-found
+//! counterexample is re-checked forever — across case budgets and
+//! `FMIG_PROPTEST_SEED` values, since replay ignores both.
+//!
+//! File format, one case per line: whitespace-separated decimal `u64`
+//! choices. Blank lines and `#` comments are skipped, so corpus files
+//! can document where each entry came from. An empty stream (a line
+//! containing only `-`) is valid and replays the test's fallback
+//! generator from its fixed state — useful for pinning the all-minimal
+//! input (empty collections, range lower bounds).
+
+use std::path::PathBuf;
+
+fn corpus_file(manifest_dir: &str, test_name: &str) -> PathBuf {
+    PathBuf::from(manifest_dir)
+        .join("tests")
+        .join("corpus")
+        .join(format!("{test_name}.txt"))
+}
+
+/// Loads the recorded streams for `test_name`, oldest first. A missing
+/// or unreadable file is an empty corpus, never an error.
+pub fn load(manifest_dir: &str, test_name: &str) -> Vec<Vec<u64>> {
+    let Ok(text) = std::fs::read_to_string(corpus_file(manifest_dir, test_name)) else {
+        return Vec::new();
+    };
+    let mut streams = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "-" {
+            streams.push(Vec::new());
+            continue;
+        }
+        let parsed: Option<Vec<u64>> = line
+            .split_whitespace()
+            .map(|tok| tok.parse::<u64>().ok())
+            .collect();
+        if let Some(stream) = parsed {
+            streams.push(stream);
+        }
+        // Unparsable lines are skipped: a hand-edited corpus should
+        // never be able to abort the whole suite.
+    }
+    streams
+}
+
+/// Renders a stream as a corpus line.
+pub fn format_stream(stream: &[u64]) -> String {
+    if stream.is_empty() {
+        "-".to_string()
+    } else {
+        stream
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Appends a failing stream to the test's corpus file (creating the
+/// directory as needed), unless an identical entry is already present.
+/// Returns the path it wrote to (or would have), for the failure
+/// message. Persistence is best-effort: an unwritable tree (read-only
+/// CI checkout) must not mask the original test failure.
+pub fn persist(manifest_dir: &str, test_name: &str, stream: &[u64]) -> PathBuf {
+    let path = corpus_file(manifest_dir, test_name);
+    if load(manifest_dir, test_name)
+        .iter()
+        .any(|existing| existing == stream)
+    {
+        return path;
+    }
+    let line = format!("{}\n", format_stream(stream));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let _ = std::fs::write(&path, format!("{existing}{line}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("fmig-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn round_trips_streams_and_skips_comments() {
+        let dir = tmp_dir("roundtrip");
+        assert!(load(&dir, "t").is_empty());
+        persist(&dir, "t", &[5, 0, 18446744073709551615]);
+        persist(&dir, "t", &[]);
+        // Duplicate entries are not appended twice.
+        persist(&dir, "t", &[5, 0, 18446744073709551615]);
+        let streams = load(&dir, "t");
+        assert_eq!(streams, vec![vec![5, 0, u64::MAX], vec![]]);
+        // Comments and junk survive a hand edit.
+        let path = corpus_file(&dir, "t");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "# found 2026-07-29\nnot numbers\n\n");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(load(&dir, "t").len(), 2);
+        let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+    }
+
+    #[test]
+    fn format_is_stable() {
+        assert_eq!(format_stream(&[]), "-");
+        assert_eq!(format_stream(&[1, 2, 3]), "1 2 3");
+    }
+}

@@ -1,0 +1,192 @@
+//! Failure handling shared by every `proptest!`-generated test: shrink
+//! the failing choice stream, persist it to the regression corpus, and
+//! panic with a replayable report.
+
+use crate::test_runner::{TestCaseError, TestRng};
+use crate::{corpus, shrink};
+
+/// A property body as the harness sees it: sample inputs from the RNG,
+/// return `Ok` / `Reject` / `Fail`.
+pub type RunCase<'c> = &'c mut dyn FnMut(&mut TestRng) -> Result<(), TestCaseError>;
+
+/// Runs one case, converting an outright panic (an engine
+/// `unreachable!`, a `debug_assert!`, an index error on hostile inputs)
+/// into [`TestCaseError::Fail`] so panicking counterexamples enter the
+/// same shrink-and-persist pipeline as `prop_assert!` failures.
+pub fn run_case_caught(run_case: RunCase<'_>, rng: &mut TestRng) -> Result<(), TestCaseError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(rng))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_string());
+            Err(TestCaseError::fail(format!("panic: {message}")))
+        }
+    }
+}
+
+/// Handles one failing case end to end; never returns.
+///
+/// The stream is shrunk by re-running `run_case` on candidate streams
+/// (a candidate that panics outright also counts as failing), the
+/// minimal counterexample is appended to
+/// `<manifest_dir>/tests/corpus/<test_name>.txt`, and the test panics
+/// with the original message plus the replayable stream.
+pub fn report_failure(
+    test_name: &str,
+    manifest_dir: &str,
+    message: String,
+    stream: Vec<u64>,
+    origin: String,
+    run_case: RunCase<'_>,
+) -> ! {
+    // Candidates that panic would each print a backtrace through the
+    // default hook — hundreds of them for a panicking property — so the
+    // hook is silenced for the shrink and restored right after. (The
+    // same trade upstream proptest makes; a concurrently failing test's
+    // message could land in this window, which is acceptable noise
+    // control for an already-failing suite.)
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let minimal = shrink::shrink_stream(stream, |cand| {
+        let mut rng = TestRng::replaying(test_name, cand.to_vec());
+        matches!(
+            run_case_caught(&mut *run_case, &mut rng),
+            Err(TestCaseError::Fail(_))
+        )
+    });
+    std::panic::set_hook(hook);
+    let path = corpus::persist(manifest_dir, test_name, &minimal);
+    panic!(
+        "proptest {test_name} failed ({origin}): {message}\n\
+         minimal choice stream ({} draws): {}\n\
+         persisted to {} — it replays before random sampling from now on",
+        minimal.len(),
+        corpus::format_stream(&minimal),
+        path.display(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// Serializes the tests that swap the global panic hook, so a
+    /// concurrent swap can never restore the silent hook as "default".
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn report_failure_shrinks_and_persists() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("fmig-harness-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let manifest = dir.to_string_lossy().into_owned();
+
+        // A property over one draw that fails whenever v >= 950_000 (a
+        // rare-enough failure that the truncation pass cannot shrink to
+        // the empty stream — the fallback generator's value passes).
+        // Find a failing case, then hand it to the harness.
+        let mut run_case = |rng: &mut TestRng| -> Result<(), TestCaseError> {
+            let v = (0u64..1_000_000).sample(rng);
+            if v >= 950_000 {
+                return Err(TestCaseError::fail(format!("v = {v}")));
+            }
+            Ok(())
+        };
+        let stream = (0..)
+            .find_map(|case| {
+                let mut rng = TestRng::deterministic("shrinks_and_persists", case);
+                matches!(run_case(&mut rng), Err(TestCaseError::Fail(_))).then(|| rng.into_record())
+            })
+            .expect("some case fails");
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            report_failure(
+                "shrinks_and_persists",
+                &manifest,
+                "v too big".into(),
+                stream,
+                "case 0/1".into(),
+                &mut run_case,
+            )
+        }));
+        let payload = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(payload.contains("v too big"), "{payload}");
+        assert!(payload.contains("minimal choice stream"), "{payload}");
+
+        // The persisted entry replays to a minimal-boundary failure.
+        let streams = corpus::load(&manifest, "shrinks_and_persists");
+        assert_eq!(streams.len(), 1);
+        let mut replay = TestRng::replaying("shrinks_and_persists", streams[0].clone());
+        match run_case(&mut replay) {
+            Err(TestCaseError::Fail(m)) => {
+                // The shrunk draw sits exactly on the failure boundary.
+                assert!(m.contains("v = 950000"), "not minimal: {m}");
+            }
+            other => panic!("corpus entry no longer fails: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_bodies_become_failures_and_shrink() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // A body that panics outright (no prop_assert) on v >= 900_000:
+        // run_case_caught must turn the unwind into a Fail so the
+        // pipeline shrinks it to the boundary like any other failure.
+        let mut run_case = |rng: &mut TestRng| -> Result<(), TestCaseError> {
+            let v = (0u64..1_000_000).sample(rng);
+            assert!(v < 900_000, "engine invariant violated: v = {v}");
+            Ok(())
+        };
+        let stream = (0..)
+            .find_map(|case| {
+                let mut rng = TestRng::deterministic("panicking_bodies", case);
+                let hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                let outcome = run_case_caught(&mut run_case, &mut rng);
+                std::panic::set_hook(hook);
+                match outcome {
+                    Err(TestCaseError::Fail(m)) => {
+                        assert!(m.contains("panic: "), "panic not converted: {m}");
+                        assert!(m.contains("engine invariant violated"), "{m}");
+                        Some(rng.into_record())
+                    }
+                    _ => None,
+                }
+            })
+            .expect("some case panics");
+
+        let dir = std::env::temp_dir().join(format!("fmig-harness-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let manifest = dir.to_string_lossy().into_owned();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            report_failure(
+                "panicking_bodies",
+                &manifest,
+                "seed case".into(),
+                stream,
+                "case 0/1".into(),
+                &mut run_case,
+            )
+        }));
+        assert!(caught.is_err());
+        // The persisted entry replays to the minimal panicking input.
+        let streams = corpus::load(&manifest, "panicking_bodies");
+        assert_eq!(streams.len(), 1);
+        let mut replay = TestRng::replaying("panicking_bodies", streams[0].clone());
+        match run_case_caught(&mut run_case, &mut replay) {
+            Err(TestCaseError::Fail(m)) => assert!(m.contains("v = 900000"), "not minimal: {m}"),
+            other => panic!("corpus entry no longer fails: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,26 +8,45 @@
 //! Semantics versus real proptest:
 //!
 //! * cases are sampled from a deterministic RNG seeded by test name and
-//!   case index, so failures reproduce exactly across runs and machines;
-//! * there is no shrinking — a failing case reports its inputs' seed but
-//!   not a minimised counterexample;
+//!   case index (plus the optional `FMIG_PROPTEST_SEED` environment
+//!   salt), so failures reproduce exactly across runs and machines;
+//!   `PROPTEST_CASES` overrides the default case budget, as upstream;
+//! * failing cases **shrink**: every draw a case makes is recorded as a
+//!   choice stream, and [`shrink`] bisects that stream (truncating it
+//!   and halving individual choices) re-running the property until no
+//!   smaller stream still fails — internal Hypothesis-style shrinking
+//!   rather than upstream's per-strategy value trees, so minimisation
+//!   is coarser but needs nothing from the strategies;
+//! * the shrunk counterexample is **persisted** to
+//!   `tests/corpus/<test>.txt` ([`corpus`]) and every corpus entry is
+//!   replayed *before* random sampling on all later runs;
 //! * `prop_assume!` rejects the current case rather than resampling.
 //!
 //! That keeps the property tests meaningful (they still drive hundreds
 //! of randomised inputs through the public APIs) while building fully
 //! offline. Repointing `[workspace.dependencies] proptest` at crates.io
-//! restores the full engine with no source changes.
+//! restores the full engine with no source changes — the corpus files
+//! are this stand-in's own convention and are simply ignored by
+//! upstream, which persists regressions under `proptest-regressions/`
+//! instead.
 
 pub mod arbitrary;
 pub mod char;
 pub mod collection;
+pub mod corpus;
+pub mod harness;
 pub mod prelude;
+pub mod shrink;
 pub mod strategy;
 pub mod string;
 pub mod test_runner;
 
 /// Property-test harness macro. Each `fn name(arg in strategy, ...)`
-/// becomes a `#[test]` that samples and runs `config.cases` cases.
+/// becomes a `#[test]` that first replays the test's persisted
+/// regression corpus (`tests/corpus/<name>.txt`, resolved against the
+/// *invoking* crate's manifest dir), then samples and runs
+/// `config.cases` random cases. A failing case is shrunk to a minimal
+/// choice stream, persisted to the corpus, and reported.
 #[macro_export]
 macro_rules! proptest {
     (@run ($config:expr) $(
@@ -40,21 +59,50 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
+            let test_name = stringify!($name);
+            // env!() expands in the invoking crate, so the corpus lives
+            // next to the tests that own it.
+            let manifest_dir = env!("CARGO_MANIFEST_DIR");
+            let mut run_case = |rng: &mut $crate::test_runner::TestRng|
+                -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), rng);
+                )*
+                $body
+                ::core::result::Result::Ok(())
+            };
+            // 1. The regression corpus replays first, independent of the
+            //    case budget and FMIG_PROPTEST_SEED. Panicking bodies
+            //    are converted to failures (run_case_caught) so they
+            //    shrink and persist like prop_assert ones.
+            for (entry, stream) in
+                $crate::corpus::load(manifest_dir, test_name).into_iter().enumerate()
+            {
+                let mut rng = $crate::test_runner::TestRng::replaying(
+                    test_name,
+                    stream.clone(),
+                );
+                if let ::core::result::Result::Err(
+                    $crate::test_runner::TestCaseError::Fail(message),
+                ) = $crate::harness::run_case_caught(&mut run_case, &mut rng)
+                {
+                    $crate::harness::report_failure(
+                        test_name,
+                        manifest_dir,
+                        message,
+                        stream,
+                        format!("corpus entry {entry}"),
+                        &mut run_case,
+                    );
+                }
+            }
+            // 2. Random sampling under the configured budget and seed.
             for case in 0..config.cases {
                 let mut rng = $crate::test_runner::TestRng::deterministic(
-                    stringify!($name),
+                    test_name,
                     u64::from(case),
                 );
-                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $(
-                            let $arg =
-                                $crate::strategy::Strategy::sample(&($strat), &mut rng);
-                        )*
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                match outcome {
+                match $crate::harness::run_case_caught(&mut run_case, &mut rng) {
                     ::core::result::Result::Ok(()) => {}
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Reject(_),
@@ -62,12 +110,14 @@ macro_rules! proptest {
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(message),
                     ) => {
-                        panic!(
-                            "proptest {} failed at case {}/{}: {}",
-                            stringify!($name),
-                            case,
-                            config.cases,
-                            message
+                        let stream = rng.into_record();
+                        $crate::harness::report_failure(
+                            test_name,
+                            manifest_dir,
+                            message,
+                            stream,
+                            format!("case {case}/{}", config.cases),
+                            &mut run_case,
                         );
                     }
                 }

@@ -1,0 +1,128 @@
+//! Minimal input shrinking over recorded choice streams.
+//!
+//! Strategies here have no value trees; a case's inputs are a pure
+//! function of the `u64` draws its RNG handed out. So shrinking works on
+//! that *choice stream* directly (the Hypothesis approach): truncate it
+//! — collections get shorter, later inputs collapse to the per-test
+//! fallback generator — and shrink individual choices toward zero —
+//! range strategies map smaller draws to values nearer their lower
+//! bound. Every candidate is re-run through the property; only
+//! still-failing candidates are kept, so the result is a genuine
+//! counterexample, just (usually) a much smaller one.
+
+/// Hard cap on property re-executions per shrink, so a slow property
+/// cannot turn one failure into a minutes-long minimisation.
+const MAX_ATTEMPTS: usize = 512;
+
+/// Shrinks `stream` while `still_fails` holds, by bisecting the stream
+/// length and then halving individual choices. Returns the smallest
+/// failing stream found (possibly the input itself).
+pub fn shrink_stream(stream: Vec<u64>, mut still_fails: impl FnMut(&[u64]) -> bool) -> Vec<u64> {
+    let mut best = stream;
+    let mut attempts = 0usize;
+    let mut try_candidate = |cand: &[u64], attempts: &mut usize| -> bool {
+        if *attempts >= MAX_ATTEMPTS {
+            return false;
+        }
+        *attempts += 1;
+        still_fails(cand)
+    };
+
+    // Pass 1: truncation, bisecting on the kept length. Start from the
+    // empty stream (everything from the fallback generator) and grow
+    // back toward the full length until a failing prefix is found.
+    loop {
+        let mut lo = 0usize;
+        let mut shrunk = false;
+        let hi = best.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if try_candidate(&best[..mid], &mut attempts) {
+                best.truncate(mid);
+                shrunk = true;
+                break;
+            }
+            lo = mid + 1;
+        }
+        if !shrunk || attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+
+    // Pass 2: shrink individual choices toward zero, left to right. Per
+    // slot, binary-search the smallest value that still fails (failure
+    // need not be monotone in a choice, but in practice range
+    // strategies map smaller draws to values nearer their lower bound,
+    // so bisection lands on or near the boundary in ≤64 re-runs).
+    // Repeat sweeps until one makes no progress.
+    let mut improved = true;
+    while improved && attempts < MAX_ATTEMPTS {
+        improved = false;
+        for i in 0..best.len() {
+            let old = best[i];
+            if old == 0 {
+                continue;
+            }
+            let mut lo = 0u64;
+            let mut hi = old;
+            while lo < hi && attempts < MAX_ATTEMPTS {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                if try_candidate(&cand, &mut attempts) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < old {
+                best[i] = hi;
+                improved = true;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncates_to_the_failing_prefix() {
+        // Fails whenever the first draw is >= 10, regardless of length.
+        let stream = vec![500, 7, 7, 7, 7, 7, 7, 7];
+        let shrunk = shrink_stream(stream, |s| s.first().copied().unwrap_or(0) >= 10);
+        assert_eq!(shrunk, vec![10], "expected minimal single-draw stream");
+    }
+
+    #[test]
+    fn halves_choices_toward_the_boundary() {
+        // Fails while the sum of draws exceeds 100.
+        let stream = vec![90, 90, 90];
+        let shrunk = shrink_stream(stream, |s| s.iter().sum::<u64>() > 100);
+        assert!(shrunk.iter().sum::<u64>() > 100);
+        assert!(
+            shrunk.iter().sum::<u64>() <= 110,
+            "should land near the boundary: {shrunk:?}"
+        );
+    }
+
+    #[test]
+    fn keeps_the_original_when_nothing_smaller_fails() {
+        let stream = vec![3, 4];
+        let shrunk = shrink_stream(stream.clone(), |s| s == stream.as_slice());
+        assert_eq!(shrunk, stream);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let mut calls = 0usize;
+        let stream: Vec<u64> = (0..10_000).map(|i| i as u64 + 1).collect();
+        let _ = shrink_stream(stream, |_| {
+            calls += 1;
+            true // everything "fails": worst case for the budget
+        });
+        assert!(calls <= MAX_ATTEMPTS);
+    }
+}

@@ -1,4 +1,10 @@
 //! Deterministic RNG, per-run configuration, and case outcomes.
+//!
+//! The RNG records every `u64` it hands out (its *choice stream*), which
+//! is what makes shrinking and the regression corpus possible: a failing
+//! case is fully described by the stream of draws that produced its
+//! inputs, so the harness can bisect that stream ([`crate::shrink`]) and
+//! persist the minimised version ([`crate::corpus`]) for replay.
 
 /// Configuration accepted by `#![proptest_config(..)]`.
 #[derive(Debug, Clone)]
@@ -16,10 +22,30 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     /// 64 rather than real proptest's 256: sampling here is fully
     /// deterministic, so extra cases replay the same stream every run
-    /// and buy less than they would under fresh entropy.
+    /// and buy less than they would under fresh entropy. Like real
+    /// proptest, the `PROPTEST_CASES` environment variable overrides
+    /// this default budget (explicit `with_cases` budgets stay as
+    /// written); the CI test-matrix job drives the suite at several
+    /// budgets that way.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
+}
+
+/// Extra stream salt from `FMIG_PROPTEST_SEED`: every property's RNG
+/// stream is re-derived from it, so one environment variable re-seeds
+/// the whole suite (the CI test-matrix legs each set a distinct value).
+/// Unset or unparsable means 0, the stream existing runs were built on.
+pub fn env_seed() -> u64 {
+    std::env::var("FMIG_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Why a case ended without passing.
@@ -43,28 +69,78 @@ impl TestCaseError {
 
 /// SplitMix64 stream seeded from the test name and case index, so every
 /// case is reproducible by name without a persisted seed file.
+///
+/// Every draw is recorded; [`TestRng::replaying`] builds an RNG whose
+/// first draws come from a recorded stream instead (draws past the end
+/// of the stream fall back to a fixed per-test generator, so truncated
+/// streams — the shrinker's candidates — still produce complete
+/// inputs). Replay deliberately ignores [`env_seed`]: a corpus entry
+/// must reproduce the same inputs under every seed of the test matrix.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
+    record: Vec<u64>,
+    replay: Vec<u64>,
+    replay_pos: usize,
+}
+
+fn name_hash(test_name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl TestRng {
     pub fn deterministic(test_name: &str, case: u64) -> Self {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for byte in test_name.bytes() {
-            hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
         TestRng {
-            state: hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            state: name_hash(test_name)
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ env_seed().wrapping_mul(0xD1B5_4A32_D192_ED03),
+            record: Vec::new(),
+            replay: Vec::new(),
+            replay_pos: 0,
+        }
+    }
+
+    /// An RNG that replays `stream` before generating anything itself.
+    /// The fallback state depends only on the test name, never on
+    /// [`env_seed`] or a case index — corpus entries and shrink
+    /// candidates replay identically everywhere.
+    pub fn replaying(test_name: &str, stream: Vec<u64>) -> Self {
+        TestRng {
+            state: name_hash(test_name),
+            record: Vec::new(),
+            replay: stream,
+            replay_pos: 0,
         }
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let v = if self.replay_pos < self.replay.len() {
+            let v = self.replay[self.replay_pos];
+            self.replay_pos += 1;
+            v
+        } else {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// The draws made so far — the case's choice stream.
+    pub fn record(&self) -> &[u64] {
+        &self.record
+    }
+
+    /// Consumes the RNG, returning its choice stream.
+    pub fn into_record(self) -> Vec<u64> {
+        self.record
     }
 
     /// Uniform in `[0, 1)` with 53 random mantissa bits.
@@ -105,5 +181,28 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn draws_are_recorded_and_replayable() {
+        let mut a = TestRng::deterministic("rec", 5);
+        let drawn: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(a.record(), &drawn[..]);
+        // Replaying the full record reproduces the exact draws.
+        let mut b = TestRng::replaying("rec", a.into_record());
+        let replayed: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(drawn, replayed);
+    }
+
+    #[test]
+    fn replay_falls_back_to_generation_past_the_stream() {
+        let mut rng = TestRng::replaying("tail", vec![1, 2]);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u64(), 2);
+        // Past-end draws are generated deterministically per test name.
+        let tail = rng.next_u64();
+        let mut again = TestRng::replaying("tail", vec![9, 9]);
+        let _ = (again.next_u64(), again.next_u64());
+        assert_eq!(tail, again.next_u64(), "fallback must ignore the prefix");
     }
 }
