@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-matrix fmt lint bench doc examples bench-track clean
+.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track clean
 
-ci: build test test-matrix fmt lint bench doc examples bench-track
+ci: build test test-matrix fmt lint bench docs examples bench-track
 
 build:
 	$(CARGO) build --release --workspace --all-targets
@@ -33,6 +33,11 @@ bench:
 
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+# doc plus the prose: every relative link in README.md and docs/*.md
+# must resolve (ci/check_links.py).
+docs: doc
+	python3 ci/check_links.py README.md docs
 
 examples:
 	set -e; for ex in examples/*.rs; do \

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo docs resolves.
+
+Usage: check_links.py [FILE_OR_DIR ...]   (default: README.md docs/)
+
+Scans markdown files for inline links and images (`[text](target)`),
+skips external schemes (http/https/mailto) — the build must stay
+offline — and fails if a relative target, resolved against the linking
+file's directory, does not exist in the worktree. Anchors are stripped
+before the existence check; a bare-anchor link (`#section`) is accepted
+as long as the heading slug exists in the same file.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+SCHEME = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
+
+
+def slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_\[\]()]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_file(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks contain example paths, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    slugs = {slug(h) for h in HEADING.findall(text)}
+    errors = []
+    for target in LINK.findall(text):
+        if SCHEME.match(target):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:
+            if anchor not in slugs:
+                errors.append(f"{path}: broken anchor #{anchor}")
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), base))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link {target} -> {resolved}")
+    return errors
+
+
+def collect(arg: str) -> list[str]:
+    if os.path.isdir(arg):
+        return sorted(
+            os.path.join(root, name)
+            for root, _, names in os.walk(arg)
+            for name in names
+            if name.endswith(".md")
+        )
+    return [arg]
+
+
+def main() -> int:
+    args = sys.argv[1:] or ["README.md", "docs"]
+    files = [f for a in args for f in collect(a)]
+    if not files:
+        print("FAIL: no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors:
+        return 1
+    print(f"OK: {len(files)} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

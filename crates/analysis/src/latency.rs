@@ -186,6 +186,19 @@ impl PolicyLatencyReport {
         self.cells.is_empty()
     }
 
+    /// The policy with the lowest p99 first-byte read wait, paired
+    /// with that wait in seconds — the tail-latency winner column that
+    /// sits next to the miss-ratio winner in the sweep report. Ties
+    /// keep the earliest-inserted policy; `None` until some cell has
+    /// read observations.
+    pub fn best_by_p99(&self) -> Option<(&str, f64)> {
+        self.cells
+            .iter()
+            .filter(|(_, a)| a.direction_count(Direction::Read) > 0)
+            .map(|(n, a)| (n.as_str(), a.direction_quantile(Direction::Read, 0.99)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
     /// Renders mean / median / p99 read waits per policy.
     pub fn render(&self) -> String {
         let mut t = TextTable::new([
@@ -340,5 +353,23 @@ mod tests {
             .map(|(_, a)| a.direction_mean(Direction::Read))
             .collect();
         assert!(means[0] < means[1]);
+    }
+
+    #[test]
+    fn best_by_p99_picks_the_tail_winner() {
+        let mut report = PolicyLatencyReport::new();
+        assert_eq!(report.best_by_p99(), None);
+        let a = report.cell("LRU");
+        for w in [10.0, 20.0, 400.0] {
+            a.observe_wait(Direction::Read, DeviceClass::TapeSilo, w);
+        }
+        // Worse mean but a far better tail: the p99 column must pick it.
+        let b = report.cell("LRU-MAD");
+        for w in [60.0, 70.0, 80.0] {
+            b.observe_wait(Direction::Read, DeviceClass::TapeSilo, w);
+        }
+        let (name, p99) = report.best_by_p99().expect("two populated cells");
+        assert_eq!(name, "LRU-MAD");
+        assert!(p99 < 100.0);
     }
 }

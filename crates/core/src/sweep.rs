@@ -22,7 +22,8 @@
 
 use fmig_migrate::eval::LatencyOutcome;
 use fmig_migrate::policy::{
-    Belady, Fifo, LargestFirst, Lru, MigrationPolicy, RandomEvict, Saac, SmallestFirst, Stp,
+    Belady, Fifo, LargestFirst, Lru, LruMad, MigrationPolicy, RandomEvict, Saac, SmallestFirst,
+    Stp, StpLat,
 };
 use fmig_sim::fault::{FaultPlan, FaultTarget, OutageClause, SlowDriveClause};
 use fmig_workload::WorkloadConfig;
@@ -52,11 +53,15 @@ pub enum PolicyId {
     Random,
     /// Belady's clairvoyant bound.
     Belady,
+    /// Latency-aware LRU: minimise aggregate delay (delayed-hits model).
+    LruMad,
+    /// Latency-aware space-time product: recall wait folded into STP(1.4).
+    StpLat,
 }
 
 impl PolicyId {
     /// Every policy, in report order.
-    pub const ALL: [PolicyId; 10] = [
+    pub const ALL: [PolicyId; 12] = [
         PolicyId::Stp14,
         PolicyId::Stp10,
         PolicyId::Stp20,
@@ -67,6 +72,8 @@ impl PolicyId {
         PolicyId::Saac,
         PolicyId::Random,
         PolicyId::Belady,
+        PolicyId::LruMad,
+        PolicyId::StpLat,
     ];
 
     /// The stable identifier used in JSON reports and on the CLI.
@@ -82,6 +89,8 @@ impl PolicyId {
             PolicyId::Saac => "saac",
             PolicyId::Random => "random",
             PolicyId::Belady => "belady",
+            PolicyId::LruMad => "lru-mad",
+            PolicyId::StpLat => "stp-lat",
         }
     }
 
@@ -103,7 +112,19 @@ impl PolicyId {
             PolicyId::Saac => Box::new(Saac),
             PolicyId::Random => Box::new(RandomEvict { salt: 0xA5A5 }),
             PolicyId::Belady => Box::new(Belady),
+            PolicyId::LruMad => Box::new(LruMad::classic()),
+            PolicyId::StpLat => Box::new(StpLat::classic()),
         }
+    }
+
+    /// Whether the policy reads the miss-latency feedback channel.
+    ///
+    /// Latency-aware cells diverge between open-loop and closed-loop
+    /// evaluation: the closed loop feeds them live recall-wait EWMAs
+    /// while the open loop only offers the `wait_s_per_miss` constant,
+    /// so their victim choices — and hence miss ratios — may differ.
+    pub fn latency_aware(&self) -> bool {
+        self.build().latency_aware()
     }
 }
 
@@ -297,9 +318,14 @@ pub struct SweepConfig {
     /// Latency-true (closed-loop) evaluation: every cell replays its
     /// policy through the hierarchy engine, so cell results carry
     /// measured first-byte wait distributions and person-minutes derive
-    /// from measured miss waits instead of the open-loop constant. Miss
-    /// ratios are identical to open-loop mode by construction; the cost
-    /// is one device simulation per cell instead of one per shard.
+    /// from measured miss waits instead of the open-loop constant. For
+    /// latency-blind policies the miss ratios are identical to open-loop
+    /// mode by construction; latency-aware policies (those whose
+    /// [`fmig_migrate::MigrationPolicy::latency_aware`] returns `true`)
+    /// see the engine's live recall-wait feedback and may evict
+    /// differently than the open-loop replay, which only offers them the
+    /// `wait_s_per_miss` constant. The cost is one device simulation per
+    /// cell instead of one per shard.
     pub latency: bool,
     /// Fault-scenario axis (axis 5). Every scenario expands the matrix
     /// like any other axis; non-`None` scenarios are inherently
@@ -315,12 +341,19 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The smoke-test matrix CI benchmarks: three policies on the NCAR
-    /// preset at a tiny scale, one cache point, healthy plus one
-    /// compound fault scenario — 6 cells, 1 shard.
+    /// The smoke-test matrix CI benchmarks: five policies (including
+    /// both latency-aware entrants) on the NCAR preset at a tiny scale,
+    /// one cache point, healthy plus one compound fault scenario —
+    /// 10 cells, 1 shard.
     pub fn tiny() -> Self {
         SweepConfig {
-            policies: vec![PolicyId::Stp14, PolicyId::Lru, PolicyId::Belady],
+            policies: vec![
+                PolicyId::Stp14,
+                PolicyId::Lru,
+                PolicyId::Belady,
+                PolicyId::LruMad,
+                PolicyId::StpLat,
+            ],
             presets: vec![PresetId::Ncar],
             scales: vec![0.002],
             cache_fractions: vec![0.015],
@@ -1026,13 +1059,13 @@ mod tests {
         assert_eq!(cfg.cell_count(), 5 * 2 * 2 * 2);
         assert_eq!(cfg.shard_count(), 4);
         // tiny carries the healthy axis plus one fault scenario.
-        assert_eq!(SweepConfig::tiny().cell_count(), 6);
+        assert_eq!(SweepConfig::tiny().cell_count(), 10);
         assert_eq!(SweepConfig::tiny().shard_count(), 1);
         // An empty fault axis behaves as [None].
         let mut bare = SweepConfig::tiny();
         bare.faults = vec![];
         assert_eq!(bare.fault_axis(), vec![FaultScenarioId::None]);
-        assert_eq!(bare.cell_count(), 3);
+        assert_eq!(bare.cell_count(), 5);
     }
 
     #[test]

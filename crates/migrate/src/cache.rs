@@ -217,6 +217,9 @@ struct Entry {
     /// cleared by [`DiskCache::fetch_complete`].
     fetching: bool,
     next_use: Option<i64>,
+    /// Estimated recall wait stamped from the cache's hint at the last
+    /// touch; see [`DiskCache::set_est_miss_wait_s`].
+    est_miss_wait_s: f64,
 }
 
 /// How [`DiskCache`] ranks purge victims.
@@ -301,6 +304,11 @@ pub struct DiskCache<'p> {
     /// Latest reference time seen; the affine forms assume a monotone
     /// clock, so a step backwards degrades the index (see `note_time`).
     max_now: i64,
+    /// The miss-latency hint stamped onto entries at every touch; see
+    /// [`DiskCache::set_est_miss_wait_s`]. Defaults to `0.0` (no
+    /// feedback), under which latency-aware policies degrade to their
+    /// latency-blind counterparts exactly.
+    est_miss_wait_s: f64,
 }
 
 fn view(id: u64, e: &Entry) -> FileView {
@@ -311,6 +319,7 @@ fn view(id: u64, e: &Entry) -> FileView {
         created: e.created,
         ref_count: e.ref_count,
         next_use: e.next_use,
+        est_miss_wait_s: e.est_miss_wait_s,
     }
 }
 
@@ -356,7 +365,33 @@ impl<'p> DiskCache<'p> {
             eager_index: mode == EvictionMode::Indexed,
             skip_read_touch: policy.read_touch_monotone(),
             max_now: i64::MIN,
+            est_miss_wait_s: 0.0,
         }
+    }
+
+    /// Sets the miss-latency hint: the estimated tape-recall wait
+    /// (seconds) a miss on the file being referenced *next* would pay.
+    /// Every subsequent touch (read hit, write, insert) stamps the
+    /// current hint onto the touched entry, where it surfaces to the
+    /// policy as [`FileView::est_miss_wait_s`].
+    ///
+    /// Callers own the estimate because they know the file's tier: the
+    /// closed-loop hierarchy engine publishes a live per-(tier,
+    /// size-class) EWMA of measured recall waits
+    /// ([`crate::feedback::LatencyFeedback`]) before each reference,
+    /// while open-loop replay sets the flat
+    /// [`crate::eval::EvalConfig::wait_s_per_miss`] fallback once. The
+    /// default is `0.0` — zero feedback, under which latency-aware
+    /// policies ([`MigrationPolicy::latency_aware`]) rank exactly like
+    /// their latency-blind counterparts.
+    pub fn set_est_miss_wait_s(&mut self, est: f64) {
+        self.est_miss_wait_s = est;
+    }
+
+    /// The current miss-latency hint; see
+    /// [`DiskCache::set_est_miss_wait_s`].
+    pub fn est_miss_wait_s(&self) -> f64 {
+        self.est_miss_wait_s
     }
 
     /// True while the incremental eviction index is ranking victims
@@ -422,10 +457,12 @@ impl<'p> DiskCache<'p> {
         ops: &mut impl FnMut(CacheOp),
     ) -> ReadResult {
         self.note_time(now);
+        let est = self.est_miss_wait_s;
         if let Some(e) = self.entries.get_mut(&id) {
             e.last_ref = now;
             e.ref_count += 1;
             e.next_use = next_use;
+            e.est_miss_wait_s = est;
             self.stats.read_hits += 1;
             self.stats.read_hit_bytes += e.size;
             let snapshot = *e;
@@ -474,12 +511,14 @@ impl<'p> DiskCache<'p> {
             self.stats.writeback_bytes += size;
             ops(CacheOp::Writeback { id, bytes: size });
         }
+        let est = self.est_miss_wait_s;
         if let Some(e) = self.entries.get_mut(&id) {
             self.usage = self.usage - e.size + size;
             e.size = size;
             e.last_ref = now;
             e.ref_count += 1;
             e.next_use = next_use;
+            e.est_miss_wait_s = est;
             e.dirty = !self.config.eager_writeback;
             let snapshot = *e;
             self.index_upsert(id, snapshot);
@@ -550,6 +589,7 @@ impl<'p> DiskCache<'p> {
             dirty,
             fetching,
             next_use,
+            est_miss_wait_s: self.est_miss_wait_s,
         };
         self.entries.insert(id, entry);
         self.usage += size;

@@ -359,6 +359,10 @@ fn replay(
     config: &EvalConfig,
 ) -> CacheStats {
     let mut cache = DiskCache::new(config.cache, policy);
+    // Open-loop fallback for the miss-latency feedback channel: no
+    // device model runs, so every entry carries the flat per-miss wait
+    // constant (see `crate::feedback` for the closed-loop counterpart).
+    cache.set_est_miss_wait_s(config.wait_s_per_miss);
     for r in prepared {
         if r.write {
             cache.write(r.id, r.size, r.time, r.next_use);

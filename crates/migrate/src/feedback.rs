@@ -1,0 +1,193 @@
+//! The miss-latency feedback channel for latency-aware policies.
+//!
+//! Latency-aware policies ([`crate::policy::LruMad`],
+//! [`crate::policy::StpLat`]) rank victims by the *delay a miss would
+//! cost*, which requires an estimate of the tape recall wait each
+//! resident file would pay if evicted and re-read. That estimate has
+//! two sources:
+//!
+//! * **Closed loop** — the hierarchy engine (`fmig_sim::hierarchy`)
+//!   measures every recall's first-byte wait and folds it into a
+//!   [`LatencyFeedback`]: one exponentially weighted moving average per
+//!   (tape tier, log2-size-class). Before each reference is classified,
+//!   the engine publishes the current estimate for that file's tier and
+//!   size into the cache ([`crate::cache::DiskCache::set_est_miss_wait_s`]),
+//!   where it is stamped onto the touched entry and surfaces to the
+//!   policy as [`crate::policy::FileView::est_miss_wait_s`].
+//! * **Open loop** — no device model runs, so replay falls back to the
+//!   flat [`crate::eval::EvalConfig::wait_s_per_miss`] constant (60 s,
+//!   the paper's MSS average): every entry carries the same estimate.
+//!   Every policy still runs — latency-aware ones simply rank with a
+//!   uniform miss cost, weighting files only by their predicted waiter
+//!   count and recency.
+//!
+//! With **zero** feedback (a fresh estimator, or an estimate pinned to
+//! `0.0`) the aggregate-delay term vanishes exactly and [`LruMad`]
+//! degrades to plain LRU victim order, bit for bit — a property test
+//! pins this.
+//!
+//! [`LruMad`]: crate::policy::LruMad
+
+use fmig_trace::DeviceClass;
+use serde::{Deserialize, Serialize};
+
+/// EWMA smoothing factor: each new recall wait moves its cell's mean
+/// 20% of the way toward the observation — fast enough to track a
+/// degrading drive pool within tens of recalls, slow enough not to
+/// chase single-mount noise.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Number of log2 size classes per tier. Class `k` holds sizes whose
+/// bit length is `k`, i.e. `[2^(k-1), 2^k)`; the last class absorbs
+/// everything larger.
+const SIZE_CLASSES: usize = 40;
+
+/// One EWMA cell: the running mean and how many samples shaped it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct EwmaCell {
+    mean_s: f64,
+    samples: u64,
+}
+
+impl EwmaCell {
+    fn record(&mut self, wait_s: f64) {
+        if self.samples == 0 {
+            self.mean_s = wait_s;
+        } else {
+            self.mean_s += EWMA_ALPHA * (wait_s - self.mean_s);
+        }
+        self.samples += 1;
+    }
+}
+
+/// Estimated tape-recall wait, learned online from measured recalls:
+/// an EWMA per (tape tier, log2-size-class) with a per-tier aggregate
+/// as the cold-class fallback.
+///
+/// A fresh estimator returns `0.0` everywhere — the zero-feedback
+/// state in which latency-aware policies degrade to their
+/// latency-blind counterparts exactly. See the [module docs](self) for
+/// how the closed-loop engine feeds and publishes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyFeedback {
+    /// `tiers × SIZE_CLASSES` cells, tier-major.
+    cells: Vec<EwmaCell>,
+    /// Per-tier aggregate EWMA: the fallback for size classes that have
+    /// not seen a recall yet.
+    tier_totals: Vec<EwmaCell>,
+}
+
+impl Default for LatencyFeedback {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn tier_index(tier: DeviceClass) -> usize {
+    match tier {
+        DeviceClass::Disk => 0,
+        DeviceClass::TapeSilo => 1,
+        DeviceClass::TapeManual => 2,
+    }
+}
+
+fn size_class(size: u64) -> usize {
+    (u64::BITS - size.leading_zeros()) as usize % SIZE_CLASSES.max(1)
+}
+
+impl LatencyFeedback {
+    /// An empty estimator: every estimate is `0.0` until recalls are
+    /// recorded.
+    pub fn new() -> Self {
+        LatencyFeedback {
+            cells: vec![EwmaCell::default(); DeviceClass::ALL.len() * SIZE_CLASSES],
+            tier_totals: vec![EwmaCell::default(); DeviceClass::ALL.len()],
+        }
+    }
+
+    /// Folds one measured recall wait (seconds to first byte) into the
+    /// estimator, keyed by the recall's tape tier and the file's size.
+    pub fn record(&mut self, tier: DeviceClass, size: u64, wait_s: f64) {
+        if !wait_s.is_finite() || wait_s < 0.0 {
+            return;
+        }
+        let t = tier_index(tier);
+        self.cells[t * SIZE_CLASSES + size_class(size)].record(wait_s);
+        self.tier_totals[t].record(wait_s);
+    }
+
+    /// The current estimated miss wait (seconds) for a file of `size`
+    /// bytes whose recall would come from `tier`.
+    ///
+    /// Falls back from the exact (tier, size-class) cell to the tier
+    /// aggregate, and to `0.0` when the tier has never recalled — the
+    /// zero-feedback state.
+    pub fn estimate(&self, tier: DeviceClass, size: u64) -> f64 {
+        let t = tier_index(tier);
+        let cell = &self.cells[t * SIZE_CLASSES + size_class(size)];
+        if cell.samples > 0 {
+            return cell.mean_s;
+        }
+        let total = &self.tier_totals[t];
+        if total.samples > 0 {
+            total.mean_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Total recalls recorded across all tiers.
+    pub fn samples(&self) -> u64 {
+        self.tier_totals.iter().map(|c| c.samples).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_estimator_is_zero_everywhere() {
+        let f = LatencyFeedback::new();
+        for &tier in &DeviceClass::ALL {
+            for size in [0u64, 1, 1 << 10, 1 << 30, u64::MAX] {
+                assert_eq!(f.estimate(tier, size), 0.0);
+            }
+        }
+        assert_eq!(f.samples(), 0);
+    }
+
+    #[test]
+    fn first_sample_seeds_the_mean_then_ewma_tracks() {
+        let mut f = LatencyFeedback::new();
+        f.record(DeviceClass::TapeSilo, 1 << 20, 50.0);
+        assert_eq!(f.estimate(DeviceClass::TapeSilo, 1 << 20), 50.0);
+        f.record(DeviceClass::TapeSilo, 1 << 20, 150.0);
+        // 50 + 0.2 * (150 - 50) = 70
+        let est = f.estimate(DeviceClass::TapeSilo, 1 << 20);
+        assert!((est - 70.0).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn size_classes_are_independent_with_tier_fallback() {
+        let mut f = LatencyFeedback::new();
+        f.record(DeviceClass::TapeManual, 1 << 8, 400.0);
+        // Same tier, different class: falls back to the tier aggregate.
+        assert_eq!(f.estimate(DeviceClass::TapeManual, 1 << 25), 400.0);
+        // Different tier: still cold.
+        assert_eq!(f.estimate(DeviceClass::TapeSilo, 1 << 8), 0.0);
+        // Exact class wins over the aggregate once it has samples.
+        f.record(DeviceClass::TapeManual, 1 << 25, 100.0);
+        assert_eq!(f.estimate(DeviceClass::TapeManual, 1 << 25), 100.0);
+    }
+
+    #[test]
+    fn garbage_waits_are_ignored() {
+        let mut f = LatencyFeedback::new();
+        f.record(DeviceClass::TapeSilo, 1024, f64::NAN);
+        f.record(DeviceClass::TapeSilo, 1024, -5.0);
+        f.record(DeviceClass::TapeSilo, 1024, f64::INFINITY);
+        assert_eq!(f.samples(), 0);
+        assert_eq!(f.estimate(DeviceClass::TapeSilo, 1024), 0.0);
+    }
+}

@@ -11,6 +11,9 @@
 //!   policies) plus capacity sweeps;
 //! * [`mrc`] — single-pass miss-ratio curves: a whole capacity grid from
 //!   one trace walk, exact against per-capacity replay;
+//! * [`feedback`] — the miss-latency feedback channel: an EWMA of
+//!   measured recall waits per (tape tier, size class) that the
+//!   closed-loop engine publishes to latency-aware policies;
 //! * [`dedup`] — §6's eight-hour same-file request deduplication;
 //! * [`writeback`] — §6's lazy write-behind trace transformation;
 //! * [`prefetch`] — sequential (day-1 → day-2) prefetch predictability;
@@ -29,10 +32,13 @@
 //! assert!(cache.read(1, 25 << 20, 60, None)); // hit
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod dedup;
 pub mod dividing;
 pub mod eval;
+pub mod feedback;
 pub mod mrc;
 pub mod policy;
 pub mod prefetch;
@@ -45,14 +51,16 @@ pub use cache::{
 };
 pub use dedup::DedupReport;
 pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
+pub use feedback::LatencyFeedback;
+
 pub use eval::{
     evaluate_policies, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
     TracePrep,
 };
 pub use mrc::{MissRatioCurve, MrcPoint};
 pub use policy::{
-    standard_suite, AffinePriority, Belady, Fifo, FileView, LargestFirst, Lru, MigrationPolicy,
-    RandomEvict, Saac, SmallestFirst, Stp,
+    aggregate_delay, standard_suite, AffinePriority, Belady, Fifo, FileView, LargestFirst, Lru,
+    LruMad, MigrationPolicy, RandomEvict, Saac, SmallestFirst, Stp, StpLat,
 };
 pub use prefetch::PrefetchReport;
 pub use residency::{ResidencyCostModel, ResidencyOutcome, ResidencyPolicy};

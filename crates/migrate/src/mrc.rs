@@ -247,7 +247,7 @@ struct Stack {
     cursor: usize,
 }
 
-fn sub_view(g: &GlobalState, sub: &SubState) -> FileView {
+fn sub_view(g: &GlobalState, sub: &SubState, est_miss_wait_s: f64) -> FileView {
     FileView {
         id: g.id,
         size: sub.size,
@@ -255,6 +255,10 @@ fn sub_view(g: &GlobalState, sub: &SubState) -> FileView {
         created: sub.created,
         ref_count: sub.ref_count,
         next_use: g.next_use,
+        // The open-loop fallback constant, identical for every file —
+        // exactly what a per-capacity `DiskCache` replay stamps on each
+        // entry when the caller sets the same hint.
+        est_miss_wait_s,
     }
 }
 
@@ -339,11 +343,12 @@ impl Stack {
         fidx: u32,
         g: &GlobalState,
         sub: &SubState,
+        est: f64,
     ) -> bool {
         let RankMode::Active { slope_bits, rank } = &mut self.rank else {
             return false;
         };
-        match policy.affine(&sub_view(g, sub)) {
+        match policy.affine(&sub_view(g, sub, est)) {
             Some(a) if a.slope.to_bits() == *slope_bits => {
                 rank.push(RankKey {
                     intercept: a.intercept,
@@ -368,13 +373,14 @@ impl Stack {
         subs: &[SubState],
         grid: usize,
         ci: usize,
+        est: f64,
     ) -> RankMode {
         let mut slope_bits = None;
         let mut keys = Vec::with_capacity(self.residents.len());
         for &fidx in &self.residents {
             let g = &globals[fidx as usize];
             let sub = &subs[fidx as usize * grid + ci];
-            match policy.affine(&sub_view(g, sub)) {
+            match policy.affine(&sub_view(g, sub, est)) {
                 Some(a) => {
                     let bits = a.slope.to_bits();
                     if *slope_bits.get_or_insert(bits) != bits {
@@ -435,6 +441,7 @@ impl Stack {
     /// Watermark purge with the same dispatch as `DiskCache`: activate
     /// the index when eligible, pop victims off it, or fall back to the
     /// exact rescan.
+    #[expect(clippy::too_many_arguments)]
     fn maybe_purge(
         &mut self,
         policy: &dyn MigrationPolicy,
@@ -443,12 +450,13 @@ impl Stack {
         grid: usize,
         ci: usize,
         now: i64,
+        est: f64,
     ) {
         if self.usage <= self.high {
             return;
         }
         if matches!(self.rank, RankMode::Unprobed) && self.residents.len() >= INDEX_MIN_RESIDENTS {
-            self.rank = self.build_index(policy, globals, subs, grid, ci);
+            self.rank = self.build_index(policy, globals, subs, grid, ci, est);
         }
         if matches!(self.rank, RankMode::Active { .. }) {
             while self.usage > self.low {
@@ -466,7 +474,7 @@ impl Stack {
                         return Candidate::Gone; // evicted since pushed
                     }
                     let g = &globals[key.payload as usize];
-                    match policy.affine(&sub_view(g, sub)) {
+                    match policy.affine(&sub_view(g, sub, est)) {
                         Some(a)
                             if a.slope.to_bits() == slope_bits
                                 && a.intercept.to_bits() == key.intercept.to_bits() =>
@@ -499,7 +507,7 @@ impl Stack {
             .map(|&fidx| {
                 let g = &globals[fidx as usize];
                 let sub = &subs[fidx as usize * grid + ci];
-                (policy.priority(&sub_view(g, sub), now), g.id, fidx)
+                (policy.priority(&sub_view(g, sub, est), now), g.id, fidx)
             })
             .collect();
         ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -545,6 +553,12 @@ pub fn sweep_capacities(
         .map(|&capacity| Stack::new(capacity, &base.cache))
         .collect();
     let skip_read_touch = policy.read_touch_monotone();
+    // The open-loop miss-latency fallback: every FileView this pass
+    // hands to the policy carries the same flat estimate the naive
+    // per-capacity replay stamps on its entries (see
+    // `DiskCache::set_est_miss_wait_s`), keeping the two bit-identical
+    // for latency-aware policies too.
+    let est = base.wait_s_per_miss;
     // Pure-recency policies (LRU) rank victims for the whole grid off
     // one shared chronological touch log; see `maybe_purge_recency`.
     let mut recency = policy.recency_keyed();
@@ -621,8 +635,8 @@ pub fn sweep_capacities(
                 sub.ref_count += 1;
                 if !skip_read_touch && !recency {
                     let snapshot = *sub;
-                    if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot) {
-                        stack.rank = stack.build_index(policy, &globals, &subs, grid, ci);
+                    if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot, est) {
+                        stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, est);
                     }
                 }
                 continue;
@@ -650,10 +664,10 @@ pub fn sweep_capacities(
                 continue;
             }
             let snapshot = *sub;
-            if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot) {
-                stack.rank = stack.build_index(policy, &globals, &subs, grid, ci);
+            if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot, est) {
+                stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, est);
             }
-            stack.maybe_purge(policy, &globals, &mut subs, grid, ci, r.time);
+            stack.maybe_purge(policy, &globals, &mut subs, grid, ci, r.time, est);
         }
     }
     MissRatioCurve {
@@ -692,6 +706,7 @@ pub fn sweep_capacities_naive(
                 policy,
                 EvictionMode::Rescan,
             );
+            cache.set_est_miss_wait_s(base.wait_s_per_miss);
             for r in refs {
                 if r.write {
                     cache.write(r.id, r.size, r.time, r.next_use);

@@ -15,8 +15,23 @@
 //! * **Belady** — the clairvoyant offline bound: evict the file whose
 //!   next use is farthest in the future (files never used again first).
 //!
+//! Beyond the paper's suite, the workspace ships two *latency-aware*
+//! policies that consume the miss-latency feedback channel
+//! ([`crate::feedback`]):
+//!
+//! * **LRU-MAD** — aggregate-delay-aware LRU in the style of Atre et
+//!   al., "Caching with Delayed Hits" (SIGCOMM 2020): protect the files
+//!   whose miss would cost the most total waiting (estimated miss wait
+//!   × predicted coalesced waiters) per unit of time-to-next-access.
+//! * **STP-lat** — Smith's space-time product with the estimated recall
+//!   wait folded in: prefer victims that are cheap to bring back.
+//!
 //! A policy maps a cached file's state to an eviction priority; the cache
 //! evicts highest-priority files first.
+//!
+//! The full contract family — `priority`, the `affine` exactness
+//! contract, `read_touch_monotone`, `recency_keyed`, `latency_aware` —
+//! is documented in `docs/policy-contract.md`.
 
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +51,17 @@ pub struct FileView {
     /// Next time this file will be used, if an oracle filled it in
     /// (offline Belady mode); `None` means "never again".
     pub next_use: Option<i64>,
+    /// Estimated tape-recall wait (seconds) this file would pay if
+    /// evicted and re-read — the miss-latency feedback channel.
+    ///
+    /// Stamped onto the entry at every touch from the cache's current
+    /// hint ([`crate::cache::DiskCache::set_est_miss_wait_s`]): the
+    /// closed-loop hierarchy engine publishes a live per-tier EWMA
+    /// ([`crate::feedback::LatencyFeedback`]), open-loop replay the flat
+    /// [`crate::eval::EvalConfig::wait_s_per_miss`] fallback, and a bare
+    /// cache `0.0`. Only [`MigrationPolicy::latency_aware`] policies
+    /// consult it.
+    pub est_miss_wait_s: f64,
 }
 
 /// An affine description of a file's eviction priority:
@@ -148,6 +174,39 @@ pub trait MigrationPolicy: Send + Sync {
     fn recency_keyed(&self) -> bool {
         false
     }
+
+    /// True if the policy consults [`FileView::est_miss_wait_s`] — the
+    /// miss-latency feedback channel (see [`crate::feedback`]).
+    ///
+    /// Latency-aware policies rank victims by estimated recall cost,
+    /// so their *decisions* depend on where the estimate comes from:
+    /// under the closed-loop hierarchy engine the estimate is a live
+    /// EWMA of measured recall waits, while open-loop replay falls back
+    /// to the flat [`crate::eval::EvalConfig::wait_s_per_miss`]
+    /// constant. Their closed-loop miss ratios may therefore diverge
+    /// (deliberately) from open-loop replay — the exact open-loop ≡
+    /// closed-loop equivalence holds only for latency-blind policies,
+    /// where this returns the default `false`.
+    fn latency_aware(&self) -> bool {
+        false
+    }
+}
+
+/// The aggregate delay a miss on `file` is predicted to cost, in
+/// waiter-seconds: `estimated miss wait × predicted coalesced waiters`.
+///
+/// The waiter count follows the delayed-hits model (Atre et al.,
+/// SIGCOMM 2020): while a recall is outstanding for `est_miss_wait_s`
+/// seconds, re-references coalesce onto it instead of being served, so
+/// the expected number of delayed requests is the file's observed
+/// arrival rate (`ref_count` over its cache tenure) times the window —
+/// plus the missing request itself. With zero feedback
+/// (`est_miss_wait_s == 0`) the aggregate delay is exactly `0.0`.
+pub fn aggregate_delay(file: &FileView, now: i64) -> f64 {
+    let est = file.est_miss_wait_s.max(0.0);
+    let tenure = (now - file.created).max(1) as f64;
+    let arrival_rate = file.ref_count as f64 / tenure;
+    est * (1.0 + arrival_rate * est)
 }
 
 /// Smith's space-time product with configurable age exponent.
@@ -361,7 +420,115 @@ impl MigrationPolicy for Belady {
     }
 }
 
-/// The standard policy suite compared in the §6 experiments.
+/// Aggregate-delay-aware LRU (LRU-MAD, after Atre et al., "Caching
+/// with Delayed Hits", SIGCOMM 2020): evict the file with the *least*
+/// aggregate delay per unit of time-to-next-access.
+///
+/// LRU-MAD ranks each file by `aggregate_delay / TTNA` and keeps the
+/// files where that ratio is highest. With time-to-next-access
+/// estimated by recency (the LRU heuristic: a file untouched for `age`
+/// seconds is expected back in about `age` seconds), "evict the
+/// smallest `aggregate_delay / age`" is "evict the largest
+/// `age / aggregate_delay`", so the priority here is
+///
+/// ```text
+/// priority = age / (1 + delay_weight × aggregate_delay(file))
+/// ```
+///
+/// — plain LRU age, deflated for files whose miss would cost real
+/// waiting (see [`aggregate_delay`]). With zero latency feedback
+/// (`est_miss_wait_s == 0` everywhere) the denominator is exactly
+/// `1.0` and the priority is **bit-identical** to [`Lru`]'s, so the
+/// victim sequence degrades to plain LRU — a property test pins this.
+///
+/// Declines [`MigrationPolicy::affine`]: the estimate drifts between
+/// touches under live feedback, so no intercept frozen at push time can
+/// meet the exact-comparison contract. LRU-MAD replays through the
+/// exact rescan (the declination path), and the multi-capacity MRC
+/// engine runs it per-capacity rather than off the shared recency log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LruMad {
+    /// Weight on the aggregate-delay term, in 1/(waiter-seconds);
+    /// `1.0` in [`LruMad::classic`]. Larger values protect expensive
+    /// files more aggressively.
+    pub delay_weight: f64,
+}
+
+impl LruMad {
+    /// The reference parameterization: unit delay weight.
+    pub fn classic() -> Self {
+        LruMad { delay_weight: 1.0 }
+    }
+}
+
+impl MigrationPolicy for LruMad {
+    fn name(&self) -> String {
+        "LRU-MAD".into()
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        let age = (now - file.last_ref).max(0) as f64;
+        age / (1.0 + self.delay_weight * aggregate_delay(file, now))
+    }
+
+    fn latency_aware(&self) -> bool {
+        true
+    }
+
+    // No affine form and not recency-keyed: the feedback estimate can
+    // change between touches (EWMA drift), bending pairwise order in a
+    // way no frozen intercept reproduces exactly.
+}
+
+/// Latency-aware space-time product: Smith's STP discounted by the
+/// estimated recall wait, so among equally large-and-old candidates the
+/// *cheap-to-recall* one leaves first.
+///
+/// ```text
+/// priority = age^exponent × size / (1 + delay_weight × aggregate_delay(file))
+/// ```
+///
+/// With zero latency feedback the denominator is exactly `1.0` and the
+/// policy is bit-identical to [`Stp`] at the same exponent. Declines
+/// [`MigrationPolicy::affine`] for the same reasons as [`Stp`] (per-file
+/// slope) and [`LruMad`] (feedback drift); replays through the exact
+/// rescan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StpLat {
+    /// Exponent on the age term, as in [`Stp`].
+    pub exponent: f64,
+    /// Weight on the aggregate-delay discount, as in [`LruMad`].
+    pub delay_weight: f64,
+}
+
+impl StpLat {
+    /// STP(1.4) with unit delay weight.
+    pub fn classic() -> Self {
+        StpLat {
+            exponent: 1.4,
+            delay_weight: 1.0,
+        }
+    }
+}
+
+impl MigrationPolicy for StpLat {
+    fn name(&self) -> String {
+        format!("STP-lat({:.1})", self.exponent)
+    }
+
+    fn priority(&self, file: &FileView, now: i64) -> f64 {
+        let age = (now - file.last_ref).max(0) as f64;
+        age.powf(self.exponent) * file.size as f64
+            / (1.0 + self.delay_weight * aggregate_delay(file, now))
+    }
+
+    fn latency_aware(&self) -> bool {
+        true
+    }
+}
+
+/// The standard policy suite compared in the §6 experiments, extended
+/// with the latency-aware pair (LRU-MAD, STP-lat).
 pub fn standard_suite() -> Vec<Box<dyn MigrationPolicy>> {
     vec![
         Box::new(Stp::classic()),
@@ -373,6 +540,8 @@ pub fn standard_suite() -> Vec<Box<dyn MigrationPolicy>> {
         Box::new(SmallestFirst),
         Box::new(Saac),
         Box::new(RandomEvict { salt: 0xA5A5 }),
+        Box::new(LruMad::classic()),
+        Box::new(StpLat::classic()),
     ]
 }
 
@@ -388,6 +557,7 @@ mod tests {
             created: 0,
             ref_count,
             next_use: None,
+            est_miss_wait_s: 0.0,
         }
     }
 
@@ -551,6 +721,10 @@ mod tests {
         assert!(Stp { exponent: 1.0 }.affine(&f).is_none());
         assert!(Saac.affine(&f).is_none());
         assert!(RandomEvict { salt: 1 }.affine(&f).is_none());
+        // The latency-aware pair declines too: live feedback drifts
+        // between touches, so no frozen intercept stays exact.
+        assert!(LruMad::classic().affine(&f).is_none());
+        assert!(StpLat::classic().affine(&f).is_none());
     }
 
     #[test]
@@ -561,6 +735,80 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate policy names");
-        assert!(before >= 8);
+        assert!(before >= 10);
+    }
+
+    #[test]
+    fn aggregate_delay_follows_the_delayed_hits_model() {
+        // 10 references over a 100 s tenure -> 0.1 refs/s. A 20 s miss
+        // wait coalesces an expected 0.1 * 20 = 2 extra waiters, so the
+        // aggregate delay is 20 * (1 + 2) = 60 waiter-seconds.
+        let mut f = file(1, 1 << 20, 100, 10);
+        f.est_miss_wait_s = 20.0;
+        let d = aggregate_delay(&f, 100);
+        assert!((d - 60.0).abs() < 1e-9, "{d}");
+        // Zero feedback -> exactly zero aggregate delay.
+        f.est_miss_wait_s = 0.0;
+        assert_eq!(aggregate_delay(&f, 100), 0.0);
+        // Negative estimates are clamped, never amplified.
+        f.est_miss_wait_s = -5.0;
+        assert_eq!(aggregate_delay(&f, 100), 0.0);
+    }
+
+    #[test]
+    fn lru_mad_protects_expensive_files() {
+        let now = 1_000;
+        // Same recency; the file with the costly predicted miss stays.
+        let mut cheap = file(1, 1 << 20, 0, 3);
+        cheap.est_miss_wait_s = 1.0;
+        let mut dear = file(2, 1 << 20, 0, 3);
+        dear.est_miss_wait_s = 300.0;
+        let p = LruMad::classic();
+        assert!(p.priority(&cheap, now) > p.priority(&dear, now));
+        // But recency still matters: a fresh expensive file does not
+        // shield a stale cheap one forever.
+        assert!(p.latency_aware());
+        assert!(!Lru.latency_aware());
+    }
+
+    #[test]
+    fn zero_feedback_degrades_lru_mad_to_lru_bit_for_bit() {
+        let p = LruMad::classic();
+        for (last_ref, now) in [(0i64, 7i64), (5, 5), (123, 86_400), (9, 3)] {
+            let f = file(1, 1 << 30, last_ref, 4);
+            assert_eq!(
+                p.priority(&f, now).to_bits(),
+                Lru.priority(&f, now).to_bits(),
+                "LRU-MAD with zero feedback must equal LRU exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_feedback_degrades_stp_lat_to_stp_bit_for_bit() {
+        let lat = StpLat::classic();
+        let blind = Stp::classic();
+        for (last_ref, now) in [(0i64, 977i64), (50, 86_400), (9, 3)] {
+            let f = file(3, 123_456, last_ref, 7);
+            assert_eq!(
+                lat.priority(&f, now).to_bits(),
+                blind.priority(&f, now).to_bits(),
+                "STP-lat with zero feedback must equal STP exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn stp_lat_prefers_cheap_recalls_among_equal_stp_candidates() {
+        let now = 10_000;
+        let mut silo = file(1, 1 << 24, 0, 2);
+        silo.est_miss_wait_s = 30.0; // robot mount
+        let mut shelf = file(2, 1 << 24, 0, 2);
+        shelf.est_miss_wait_s = 600.0; // operator fetch
+        let p = StpLat::classic();
+        assert!(
+            p.priority(&silo, now) > p.priority(&shelf, now),
+            "equal space-time product: the cheap-to-recall file leaves first"
+        );
     }
 }

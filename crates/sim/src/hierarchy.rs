@@ -55,6 +55,7 @@ use fmig_migrate::cache::{CacheConfig, CacheOp, CacheStats, DiskCache, ReadResul
 use fmig_migrate::eval::{
     DegradedOutcome, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
 };
+use fmig_migrate::feedback::LatencyFeedback;
 use fmig_migrate::policy::MigrationPolicy;
 use fmig_trace::DeviceClass;
 use rand::rngs::SmallRng;
@@ -133,10 +134,19 @@ pub struct HierarchyMetrics {
     pub flush_queue_wait: LatencyHistogram,
     /// Mean busy units per resource over the run.
     pub utilisation: Utilisation,
-    /// The cache's own counters; identical to what open-loop replay of
-    /// the same trace under the same policy produces — with or without
-    /// a fault plan, since faults only move time, never cache decisions.
+    /// The cache's own counters. For latency-blind policies these are
+    /// identical to what open-loop replay of the same trace under the
+    /// same policy produces — with or without a fault plan, since
+    /// faults only move time, never cache decisions. Latency-aware
+    /// policies ([`MigrationPolicy::latency_aware`]) rank victims off
+    /// the live feedback below instead of the open-loop constant, so
+    /// their decisions (and counters) may deliberately diverge.
     pub cache: CacheStats,
+    /// The miss-latency feedback channel as it stood at the end of the
+    /// run: an EWMA of measured recall waits per (tape tier,
+    /// size-class), fed by every resolved recall and published into the
+    /// cache before each reference (see `fmig_migrate::feedback`).
+    pub latency_feedback: LatencyFeedback,
     /// Degraded-mode attribution when the run carried an active
     /// [`FaultPlan`]; `None` on fault-free runs, keeping them
     /// bit-identical to the pre-fault engine.
@@ -158,6 +168,7 @@ impl HierarchyMetrics {
             flush_queue_wait: LatencyHistogram::new(),
             utilisation: Utilisation::default(),
             cache: CacheStats::default(),
+            latency_feedback: LatencyFeedback::new(),
             fault: None,
         }
     }
@@ -422,6 +433,9 @@ struct Engine<'a, 'p> {
     outstanding: HashMap<u64, OutstandingRecall>,
     /// Each file's tape tier, from the trace's device annotations.
     file_tape: HashMap<u64, DeviceClass>,
+    /// Live miss-latency estimator: fed by every resolved recall,
+    /// consulted (via the cache's hint) before every reference.
+    feedback: LatencyFeedback,
     /// Reusable buffer for cache side effects.
     ops: Vec<CacheOp>,
     next_emit: usize,
@@ -457,6 +471,7 @@ impl<'a, 'p> Engine<'a, 'p> {
             jobs: Vec::new(),
             outstanding: HashMap::new(),
             file_tape: HashMap::new(),
+            feedback: LatencyFeedback::new(),
             ops: Vec::new(),
             next_emit: 0,
             spindles: vec![Pool::new(1); cfg.disk_spindles.max(1)],
@@ -502,6 +517,7 @@ impl<'a, 'p> Engine<'a, 'p> {
 
         self.metrics.requests = self.states.len() as u64;
         self.metrics.cache = *self.cache.stats();
+        self.metrics.latency_feedback = self.feedback.clone();
         self.metrics.fault = self.fault;
         let span = (
             self.first_ms.min(self.last_ms),
@@ -542,6 +558,13 @@ impl<'a, 'p> Engine<'a, 'p> {
     fn arrive(&mut self, i: usize, pr: &PreparedRef, t_ms: SimMs) {
         let tape = tape_of(pr.device);
         self.file_tape.insert(pr.id, tape);
+        // Publish the current miss-wait estimate for this file's tier
+        // and size before the cache classifies the reference: the touch
+        // stamps it onto the entry, where latency-aware policies read
+        // it at the next purge. Latency-blind policies ignore the hint,
+        // which keeps their closed loop exactly equal to open loop.
+        self.cache
+            .set_est_miss_wait_s(self.feedback.estimate(tape, pr.size));
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
         let served = if pr.write {
@@ -1104,7 +1127,15 @@ impl<'a, 'p> Engine<'a, 'p> {
         match served {
             ServedBy::DiskHit => self.metrics.hit_wait.record(wait_s),
             ServedBy::DelayedHit => self.metrics.delayed_hit_wait.record(wait_s),
-            ServedBy::Recall => self.metrics.miss_wait.record(wait_s),
+            ServedBy::Recall => {
+                self.metrics.miss_wait.record(wait_s);
+                // The feedback loop closes here: a measured recall wait
+                // (retries, outages, and queueing included) updates the
+                // estimate future victim rankings will see. `device` is
+                // the recall's tape tier for a `Recall`-served ref.
+                let st = &self.states[i];
+                self.feedback.record(st.device, st.size, wait_s);
+            }
             ServedBy::DiskWrite => self.metrics.write_wait.record(wait_s),
         }
     }

@@ -30,6 +30,8 @@
 //! assert!(run.records[0].startup_latency_s > 10);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod cutthrough;
 pub mod event;

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 
-use fmig_migrate::cache::{CacheConfig, DiskCache};
-use fmig_migrate::policy::{Lru, Stp};
+use fmig_migrate::cache::{CacheConfig, CacheOp, DiskCache};
+use fmig_migrate::policy::{Lru, LruMad, MigrationPolicy, Stp};
 use fmig_sim::{MssSimulator, SimConfig};
 use fmig_trace::time::{Timestamp, TRACE_EPOCH};
 use fmig_trace::{Endpoint, ErrorKind, TraceReader, TraceRecord};
@@ -127,6 +127,50 @@ proptest! {
         let s = cache.stats();
         prop_assert!(s.read_hits + s.read_misses + s.writes >= 1);
         prop_assert!(s.stall_bytes <= s.writeback_bytes);
+    }
+
+    /// With zero miss-latency feedback, LRU-MAD's aggregate-delay
+    /// denominator is exactly 1.0, so its victim sequence — every
+    /// eviction, in order — is identical to plain LRU's on any
+    /// operation stream. This pins the open-loop degradation contract
+    /// end-to-end through the cache, not just at the priority function.
+    #[test]
+    fn zero_feedback_lru_mad_evicts_in_lru_order(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..30, 1u64..800, 0i64..100_000),
+            1..300,
+        ),
+        capacity in 500u64..5_000,
+    ) {
+        fn victims(policy: &dyn MigrationPolicy, ops: &[(bool, u64, u64, i64)], capacity: u64)
+            -> (Vec<u64>, u64, u64)
+        {
+            let mut cache = DiskCache::new(CacheConfig::with_capacity(capacity), policy);
+            // Explicit, not just default: the degradation contract is
+            // about a zero estimate, whatever the cache saw before.
+            cache.set_est_miss_wait_s(0.0);
+            let mut seq = Vec::new();
+            let mut sink = |op: CacheOp| match op {
+                CacheOp::StallFlush { id, .. }
+                | CacheOp::PurgeFlush { id, .. }
+                | CacheOp::Drop { id, .. } => seq.push(id),
+                CacheOp::Fetch { .. } | CacheOp::Writeback { .. } => {}
+            };
+            for &(write, id, size, t) in ops {
+                if write {
+                    cache.write_with(id, size, t, None, &mut sink);
+                } else {
+                    cache.read_with(id, size, t, None, &mut sink);
+                }
+            }
+            let s = cache.stats();
+            (seq, s.read_hits, s.read_misses)
+        }
+        let mut sorted_ops = ops;
+        sorted_ops.sort_by_key(|&(_, _, _, t)| t);
+        let lru = victims(&Lru, &sorted_ops, capacity);
+        let mad = victims(&LruMad::classic(), &sorted_ops, capacity);
+        prop_assert_eq!(lru, mad);
     }
 
     /// LRU and STP agree on trivial workloads that fit entirely in cache

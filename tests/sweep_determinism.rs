@@ -59,7 +59,37 @@ fn latency_sweep_report_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn latency_aware_cells_are_byte_identical_across_worker_counts() {
+    // The latency-aware policies fold the engine's recall-wait EWMAs
+    // into their victim scores, so this pins the whole feedback loop —
+    // measurement, publication, and eviction — as a pure function of
+    // the matrix, independent of worker scheduling.
+    let serial = SweepConfig {
+        policies: vec![PolicyId::Lru, PolicyId::LruMad, PolicyId::StpLat],
+        presets: vec![PresetId::Ncar, PresetId::ReadHot],
+        scales: vec![0.002],
+        cache_fractions: vec![0.01],
+        base_seed: 0xDE7E_2217,
+        simulate_devices: true,
+        latency: true,
+        faults: vec![FaultScenarioId::None, FaultScenarioId::DegradedPeak],
+        workers: 1,
+    };
+    let mut pooled = serial.clone();
+    pooled.workers = 8;
+    let a = run_sweep(&serial).to_json();
+    let b = run_sweep(&pooled).to_json();
+    assert_eq!(a, b, "worker count leaked into latency-aware cells");
+    assert!(a.contains("\"lru-mad\""));
+    assert!(a.contains("\"stp-lat\""));
+    assert!(a.contains("\"by_p99_wait\": \""));
+}
+
+#[test]
 fn closed_loop_cells_reproduce_open_loop_miss_ratios() {
+    // Holds because sweep_matrix() is all latency-blind policies; the
+    // latency-aware ones evict against live feedback and are exempt
+    // from this identity by contract (see docs/policy-contract.md).
     let open = sweep_matrix();
     let mut closed = open.clone();
     closed.latency = true;
