@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track clean
+.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track bench-scaling clean
 
-ci: build test test-matrix fmt lint bench docs examples bench-track
+ci: build test test-matrix fmt lint bench docs examples bench-track bench-scaling
 
 build:
 	$(CARGO) build --release --workspace --all-targets
@@ -49,6 +49,15 @@ examples:
 bench-track:
 	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --latency --out BENCH_sweep.json
 	python3 ci/check_bench.py ci/bench_baseline.json BENCH_sweep.json
+
+# The dense-identity scaling gate: the tiny sweep plus the refs/sec
+# curve across preset sizes (--scaling adds the tiny/large scaling_curve
+# array to the artifact). check_bench.py gates scaling_speedup_vs_hashed
+# — the dense-id replay's throughput over the frozen hashed baseline —
+# from the same artifact.
+bench-scaling:
+	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --latency --scaling --out BENCH_scaling.json
+	python3 ci/check_bench.py ci/bench_baseline.json BENCH_scaling.json
 
 clean:
 	$(CARGO) clean

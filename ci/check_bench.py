@@ -4,21 +4,33 @@
 Usage: check_bench.py BASELINE CURRENT [THRESHOLD]
 
 Both files are `repro sweep` artifacts (or, for the baseline, a stub
-with just the cost keys). The compared figures are `normalized_cost`
-(the open-loop matrix), `mrc_normalized_cost` (the single-pass
-miss-ratio-curve engine drawing an eight-point capacity curve on the
-first shard) and, when both files carry it, `latency_normalized_cost`
-(the closed-loop hierarchy-engine matrix from `repro sweep --latency`):
-wall time divided by an in-process CPU calibration loop measured on the
-same machine, so the ratios are comparable across runner generations.
-The gate fails when any compared cost exceeds its baseline by more than
-THRESHOLD (default 1.25, i.e. a >25% regression).
+with just the cost keys). Two kinds of figures are compared:
+
+Lower-is-better costs — `normalized_cost` (the open-loop matrix),
+`mrc_normalized_cost` (the single-pass miss-ratio-curve engine drawing
+an eight-point capacity curve on the first shard) and, when both files
+carry it, `latency_normalized_cost` (the closed-loop hierarchy-engine
+matrix from `repro sweep --latency`): wall time divided by an
+in-process CPU calibration loop measured on the same machine, so the
+ratios are comparable across runner generations. The gate fails when
+any compared cost exceeds its baseline by more than THRESHOLD (default
+1.25, i.e. a >25% regression).
+
+Higher-is-better scores — `scaling_speedup_vs_hashed` (the dense-id
+replay's refs/sec over the frozen hashed baseline replaying the same
+single-policy cell in-process; see `fmig_migrate::hashed`). Being an
+in-process ratio of two measurements it needs no calibration; the gate
+fails when it drops below its baseline divided by THRESHOLD. The
+artifact's absolute `scaling_refs_per_sec` is recorded in the baseline
+for context but not gated directly (absolute throughput shifts with
+runner generations; the speedup does not).
 
 To re-baseline after an intentional change:
     make bench-track   # writes BENCH_sweep.json
     python3 -c "import json; a = json.load(open('BENCH_sweep.json')); \
 print(json.dumps({k: a[k] for k in ('normalized_cost', \
-'mrc_normalized_cost', 'latency_normalized_cost') if k in a}))" \
+'mrc_normalized_cost', 'latency_normalized_cost', \
+'scaling_speedup_vs_hashed') if k in a}))" \
 > ci/bench_baseline.json
 """
 
@@ -26,6 +38,10 @@ import json
 import sys
 
 GATED_KEYS = ("normalized_cost", "mrc_normalized_cost", "latency_normalized_cost")
+
+# Scores where bigger is better: gated on falling below baseline /
+# THRESHOLD instead of rising above baseline * THRESHOLD.
+GATED_MIN_KEYS = ("scaling_speedup_vs_hashed",)
 
 
 def main() -> int:
@@ -61,6 +77,27 @@ def main() -> int:
             print(
                 f"FAIL: {key} regressed {100 * (ratio - 1):.0f}% "
                 f"over the committed baseline (limit {100 * (threshold - 1):.0f}%)"
+            )
+    for key in GATED_MIN_KEYS:
+        if key not in baseline:
+            continue
+        if key not in current:
+            print(f"FAIL: baseline has {key} but the artifact does not")
+            failed = True
+            continue
+        compared += 1
+        base = baseline[key]
+        cur = current[key]
+        ratio = cur / base
+        floor = 1.0 / threshold
+        print(f"baseline {key}: {base:.4f} (higher is better)")
+        print(f"current  {key}: {cur:.4f}")
+        print(f"ratio: {ratio:.3f} (gate: >= {floor:.2f})")
+        if ratio < floor:
+            failed = True
+            print(
+                f"FAIL: {key} dropped {100 * (1 - ratio):.0f}% "
+                f"below the committed baseline (limit {100 * (1 - floor):.0f}%)"
             )
     if compared == 0:
         print("FAIL: no cost key present in both baseline and artifact")

@@ -1,32 +1,41 @@
 //! The deterministic parallel sweep runner.
 //!
 //! [`run_sweep`] expands a [`SweepConfig`] into trace shards (one per
-//! preset × scale coordinate), executes them on a `std::thread::scope`
-//! worker pool, and assembles the [`SweepReport`]. Workers pull shard
-//! indices from an atomic counter — classic self-scheduling fan-out, the
-//! same shape the `ptexec` family used for parallel Unix commands — and
-//! write results into the shard's own slot, so scheduling order never
-//! leaks into the report.
+//! preset × scale coordinate) and runs them in **two phases** on a
+//! `std::thread::scope` worker pool. Workers pull indices from an
+//! atomic counter — classic self-scheduling fan-out, the same shape the
+//! `ptexec` family used for parallel Unix commands — and write results
+//! into the task's own slot, so scheduling order never leaks into the
+//! report:
 //!
-//! A shard is executed as a single streaming pass: the generated
-//! workload's owning record stream feeds the device simulator, whose
-//! sink feeds both the incremental [`Analyzer`] and the policy-replay
-//! preparation ([`TracePrep`]) record by record. The full annotated
-//! `Vec<TraceRecord>` that [`crate::Study::run`] keeps for the
-//! experiment registry is never materialized here, which is what makes
-//! wide matrices affordable.
+//! 1. **Shard preparation** — each shard generates its workload and
+//!    streams it once through the device simulator (or a plain pass)
+//!    into the incremental [`Analyzer`] and the policy-replay
+//!    preparation ([`TracePrep`]). The full annotated
+//!    `Vec<TraceRecord>` that [`crate::Study::run`] keeps for the
+//!    experiment registry is never materialized, which is what makes
+//!    wide matrices affordable.
+//! 2. **Cell execution** — the matrix is split into *cell units* that
+//!    draw from one global queue: a closed-loop unit is a single
+//!    (fault, cache, policy) hierarchy-engine run, an open-loop unit is
+//!    one policy's entire single-pass miss-ratio curve (shared by every
+//!    healthy open-loop cell of that policy, bit-identical to per-cell
+//!    replay — see `fmig_migrate::mrc`). Splitting below the shard
+//!    means a matrix with *one* shard but many cells — the `large`
+//!    scaling preset, or a latency sweep — still spreads across every
+//!    worker, and each unit's result lands in a pre-assigned slot that
+//!    phase 3's purely serial assembly reads back in matrix order.
 //!
-//! Open-loop cells that differ only in `cache_fraction` collapse onto
-//! one single-pass miss-ratio curve per (policy, shard) — bit-identical
-//! to per-cell replay (see `fmig_migrate::mrc`) but one trace walk
-//! instead of one per capacity. Closed-loop (latency) cells keep their
-//! individual hierarchy-engine runs, since device feedback is per-cell.
+//! The assembled report is therefore a pure function of the config:
+//! any worker count yields byte-identical [`SweepReport::to_json`]
+//! output, pinned by a tier-1 test.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fmig_analysis::Analyzer;
-use fmig_migrate::eval::{EvalConfig, TracePrep};
+use fmig_migrate::eval::{EvalConfig, PreparedTrace, TracePrep};
+use fmig_migrate::mrc::MissRatioCurve;
 use fmig_sim::{HierarchySimulator, MssSimulator, SimConfig};
 use fmig_trace::Direction;
 use fmig_workload::{PaperTargets, Workload};
@@ -52,31 +61,23 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
             && !config.cache_fractions.is_empty(),
         "sweep matrix must be non-empty on every axis"
     );
-    let shards: Vec<(usize, usize)> = (0..config.presets.len())
+    let coords: Vec<(usize, usize)> = (0..config.presets.len())
         .flat_map(|p| (0..config.scales.len()).map(move |s| (p, s)))
         .collect();
-    let workers = effective_workers(config.workers, shards.len());
-    let results: Mutex<Vec<Option<ShardReport>>> = Mutex::new(vec![None; shards.len()]);
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= shards.len() {
-                    break;
-                }
-                let (preset_idx, scale_idx) = shards[i];
-                let shard = run_shard(config, preset_idx, scale_idx);
-                results.lock().expect("no panicked worker")[i] = Some(shard);
-            });
-        }
+
+    // Phase 1: prepare every shard (generate + simulate + analyze).
+    let prepared: Vec<PreparedShard> = parallel_indexed(coords.len(), config.workers, |i| {
+        prepare_shard(config, coords[i].0, coords[i].1)
     });
-    let shards = results
-        .into_inner()
-        .expect("no panicked worker")
-        .into_iter()
-        .map(|s| s.expect("every shard produces a report"))
-        .collect();
+
+    // Phase 2: run cell units from one global queue spanning all shards.
+    let units = expand_units(config, coords.len());
+    let outputs: Vec<UnitOutput> = parallel_indexed(units.len(), config.workers, |i| {
+        run_unit(config, &units[i], &prepared[units[i].shard()], &coords)
+    });
+
+    // Phase 3: serial assembly in matrix order.
+    let shards = assemble(config, prepared, &units, outputs);
     let mut report = SweepReport {
         base_seed: config.base_seed,
         simulated_devices: config.simulate_devices,
@@ -89,16 +90,59 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
     report
 }
 
-/// Resolves the worker-count knob: 0 means one per available CPU, and no
-/// pool is ever wider than the shard list.
-fn effective_workers(requested: usize, shards: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let n = if requested == 0 { hw } else { requested };
-    n.clamp(1, shards.max(1))
+/// Runs `f(0..n)` on a self-scheduling worker pool and returns results
+/// in index order. The indexed slots make the output independent of
+/// which worker ran which task.
+fn parallel_indexed<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = effective_workers(workers, n);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results.lock().expect("no panicked worker")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("no panicked worker")
+        .into_iter()
+        .map(|s| s.expect("every task produces a result"))
+        .collect()
 }
 
-/// Generates, simulates, analyzes, and policy-evaluates one shard.
-fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> ShardReport {
+/// Resolves the worker-count knob: 0 means one per available CPU, and no
+/// pool is ever wider than its phase's task list.
+fn effective_workers(requested: usize, tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = if requested == 0 { hw } else { requested };
+    n.clamp(1, tasks.max(1))
+}
+
+/// One prepared trace shard plus the analysis-derived report skeleton.
+struct PreparedShard {
+    preset_idx: usize,
+    scale_idx: usize,
+    records: u64,
+    files: u64,
+    referenced_bytes: u64,
+    read_share: f64,
+    mean_read_latency_s: f64,
+    mean_write_latency_s: f64,
+    paper_deltas: Vec<PaperDelta>,
+    prepared: PreparedTrace,
+    capacities: Vec<u64>,
+}
+
+/// Generates, simulates, and analyzes one shard; policy evaluation is
+/// phase 2's job.
+fn prepare_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> PreparedShard {
     let preset = config.presets[preset_idx];
     let scale = config.scales[scale_idx];
     let workload_seed = config.workload_seed(preset_idx, scale_idx);
@@ -127,86 +171,12 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
         }
         n
     };
-
     let prepared = prep.finish();
     let capacities: Vec<u64> = config
         .cache_fractions
         .iter()
         .map(|&fraction| ((referenced_bytes as f64 * fraction) as u64).max(1))
         .collect();
-    let faults = config.fault_axis();
-    let mut cells =
-        Vec::with_capacity(faults.len() * config.cache_fractions.len() * config.policies.len());
-    // Open-loop miss-ratio curves are shared by every healthy
-    // open-loop cell of a policy (bit-identical to per-cell replay,
-    // see fmig_migrate::mrc) and computed at most once per shard.
-    let mut curves: Option<Vec<_>> = None;
-    for (fault_idx, &scenario) in faults.iter().enumerate() {
-        // Fault scenarios are inherently closed-loop — the faults live
-        // in the device model — so their cells run the hierarchy engine
-        // even when the latency flag is off. Healthy cells follow the
-        // flag, exactly as before the fault axis existed.
-        let closed_loop = config.latency || scenario != FaultScenarioId::None;
-        if closed_loop {
-            let plan = scenario.plan();
-            for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
-                let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
-                for (policy_idx, policy) in config.policies.iter().enumerate() {
-                    let cell_seed = config.cell_fault_seed(
-                        preset_idx, scale_idx, cache_idx, policy_idx, fault_idx, scenario,
-                    );
-                    let hierarchy =
-                        HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
-                    let outcome = hierarchy.evaluate_with_faults(
-                        &prepared,
-                        policy.build().as_ref(),
-                        &eval_config,
-                        &plan,
-                    );
-                    cells.push(CellResult {
-                        policy: *policy,
-                        fault: scenario,
-                        cache_fraction: fraction,
-                        capacity_bytes: capacities[cache_idx],
-                        miss_ratio: outcome.miss_ratio,
-                        byte_miss_ratio: outcome.byte_miss_ratio,
-                        person_minutes_per_day: outcome.person_minutes_per_day,
-                        latency: outcome.latency,
-                    });
-                }
-            }
-        } else {
-            let base = EvalConfig::with_capacity(0);
-            let curves = curves.get_or_insert_with(|| {
-                config
-                    .policies
-                    .iter()
-                    .map(|policy| {
-                        prepared.miss_ratio_curve(policy.build().as_ref(), &capacities, &base)
-                    })
-                    .collect()
-            });
-            for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
-                let eval_config = EvalConfig::with_capacity(capacities[cache_idx]);
-                for (policy_idx, policy) in config.policies.iter().enumerate() {
-                    let point = &curves[policy_idx].points[cache_idx];
-                    cells.push(CellResult {
-                        policy: *policy,
-                        fault: scenario,
-                        cache_fraction: fraction,
-                        capacity_bytes: capacities[cache_idx],
-                        miss_ratio: point.miss_ratio(),
-                        byte_miss_ratio: point.byte_miss_ratio(),
-                        person_minutes_per_day: point.stats.person_minutes_per_day(
-                            eval_config.wait_s_per_miss,
-                            eval_config.trace_days,
-                        ),
-                        latency: None,
-                    });
-                }
-            }
-        }
-    }
 
     // Published-vs-measured rows only make sense where the generator
     // runs its NCAR calibration; the other presets twist those very
@@ -254,20 +224,229 @@ fn run_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> Shard
         Vec::new()
     };
 
-    ShardReport {
-        preset,
-        scale,
-        workload_seed,
-        sim_seed,
+    PreparedShard {
+        preset_idx,
+        scale_idx,
         records,
         files,
-        referenced_gb: referenced_bytes as f64 / 1e9,
+        referenced_bytes,
         read_share: analysis.stats.read_reference_share(),
         mean_read_latency_s: analysis.latency.direction_mean(Direction::Read),
         mean_write_latency_s: analysis.latency.direction_mean(Direction::Write),
         paper_deltas,
-        cells,
+        prepared,
+        capacities,
     }
+}
+
+/// One schedulable unit of cell work; see the module docs.
+#[derive(Debug, Clone, Copy)]
+enum CellUnit {
+    /// One policy's full single-pass miss-ratio curve over the shard's
+    /// capacity grid — serves every healthy open-loop cell of that
+    /// policy, across all open-loop fault-axis entries.
+    Curve { shard: usize, policy_idx: usize },
+    /// One closed-loop hierarchy-engine run: a single
+    /// (fault, cache, policy) cell.
+    Closed {
+        shard: usize,
+        fault_idx: usize,
+        cache_idx: usize,
+        policy_idx: usize,
+    },
+}
+
+impl CellUnit {
+    fn shard(&self) -> usize {
+        match *self {
+            CellUnit::Curve { shard, .. } | CellUnit::Closed { shard, .. } => shard,
+        }
+    }
+}
+
+enum UnitOutput {
+    Curve(MissRatioCurve),
+    Closed(CellResult),
+}
+
+/// Expands the matrix into the phase-2 task list, in a deterministic
+/// order (shard-major, then matrix order within the shard).
+fn expand_units(config: &SweepConfig, shards: usize) -> Vec<CellUnit> {
+    let faults = config.fault_axis();
+    let mut units = Vec::new();
+    for shard in 0..shards {
+        let any_open = faults
+            .iter()
+            .any(|&s| !(config.latency || s != FaultScenarioId::None));
+        if any_open {
+            for policy_idx in 0..config.policies.len() {
+                units.push(CellUnit::Curve { shard, policy_idx });
+            }
+        }
+        for (fault_idx, &scenario) in faults.iter().enumerate() {
+            if config.latency || scenario != FaultScenarioId::None {
+                for cache_idx in 0..config.cache_fractions.len() {
+                    for policy_idx in 0..config.policies.len() {
+                        units.push(CellUnit::Closed {
+                            shard,
+                            fault_idx,
+                            cache_idx,
+                            policy_idx,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    units
+}
+
+/// Executes one cell unit against its prepared shard.
+fn run_unit(
+    config: &SweepConfig,
+    unit: &CellUnit,
+    shard: &PreparedShard,
+    coords: &[(usize, usize)],
+) -> UnitOutput {
+    let faults = config.fault_axis();
+    match *unit {
+        CellUnit::Curve { policy_idx, .. } => {
+            let base = EvalConfig::with_capacity(0);
+            let policy = config.policies[policy_idx].build();
+            UnitOutput::Curve(shard.prepared.miss_ratio_curve(
+                policy.as_ref(),
+                &shard.capacities,
+                &base,
+            ))
+        }
+        CellUnit::Closed {
+            shard: shard_idx,
+            fault_idx,
+            cache_idx,
+            policy_idx,
+        } => {
+            let (preset_idx, scale_idx) = coords[shard_idx];
+            let scenario = faults[fault_idx];
+            let plan = scenario.plan();
+            let eval_config = EvalConfig::with_capacity(shard.capacities[cache_idx]);
+            let cell_seed = config.cell_fault_seed(
+                preset_idx, scale_idx, cache_idx, policy_idx, fault_idx, scenario,
+            );
+            let hierarchy = HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
+            let policy = config.policies[policy_idx];
+            let outcome = hierarchy.evaluate_with_faults(
+                &shard.prepared,
+                policy.build().as_ref(),
+                &eval_config,
+                &plan,
+            );
+            UnitOutput::Closed(CellResult {
+                policy,
+                fault: scenario,
+                cache_fraction: config.cache_fractions[cache_idx],
+                capacity_bytes: shard.capacities[cache_idx],
+                miss_ratio: outcome.miss_ratio,
+                byte_miss_ratio: outcome.byte_miss_ratio,
+                person_minutes_per_day: outcome.person_minutes_per_day,
+                latency: outcome.latency,
+            })
+        }
+    }
+}
+
+/// Stitches unit outputs back into per-shard cell lists, in the exact
+/// matrix order the serial runner produced.
+fn assemble(
+    config: &SweepConfig,
+    prepared: Vec<PreparedShard>,
+    units: &[CellUnit],
+    outputs: Vec<UnitOutput>,
+) -> Vec<ShardReport> {
+    let faults = config.fault_axis();
+    // Index unit outputs by coordinates for order-free lookup.
+    let mut curves: Vec<Vec<Option<&MissRatioCurve>>> =
+        vec![vec![None; config.policies.len()]; prepared.len()];
+    let mut closed: Vec<Vec<Option<&CellResult>>> =
+        vec![
+            vec![None; faults.len() * config.cache_fractions.len() * config.policies.len()];
+            prepared.len()
+        ];
+    let cell_slot = |fault_idx: usize, cache_idx: usize, policy_idx: usize| {
+        (fault_idx * config.cache_fractions.len() + cache_idx) * config.policies.len() + policy_idx
+    };
+    for (unit, out) in units.iter().zip(&outputs) {
+        match (*unit, out) {
+            (CellUnit::Curve { shard, policy_idx }, UnitOutput::Curve(c)) => {
+                curves[shard][policy_idx] = Some(c);
+            }
+            (
+                CellUnit::Closed {
+                    shard,
+                    fault_idx,
+                    cache_idx,
+                    policy_idx,
+                },
+                UnitOutput::Closed(c),
+            ) => {
+                closed[shard][cell_slot(fault_idx, cache_idx, policy_idx)] = Some(c);
+            }
+            _ => unreachable!("unit and output kinds are paired by construction"),
+        }
+    }
+
+    prepared
+        .into_iter()
+        .enumerate()
+        .map(|(shard_idx, shard)| {
+            let mut cells = Vec::with_capacity(
+                faults.len() * config.cache_fractions.len() * config.policies.len(),
+            );
+            for (fault_idx, &scenario) in faults.iter().enumerate() {
+                let closed_loop = config.latency || scenario != FaultScenarioId::None;
+                for (cache_idx, &fraction) in config.cache_fractions.iter().enumerate() {
+                    let eval_config = EvalConfig::with_capacity(shard.capacities[cache_idx]);
+                    for (policy_idx, policy) in config.policies.iter().enumerate() {
+                        if closed_loop {
+                            let cell = closed[shard_idx]
+                                [cell_slot(fault_idx, cache_idx, policy_idx)]
+                            .expect("closed unit ran");
+                            cells.push(cell.clone());
+                        } else {
+                            let curve = curves[shard_idx][policy_idx].expect("curve unit ran");
+                            let point = &curve.points[cache_idx];
+                            cells.push(CellResult {
+                                policy: *policy,
+                                fault: scenario,
+                                cache_fraction: fraction,
+                                capacity_bytes: shard.capacities[cache_idx],
+                                miss_ratio: point.miss_ratio(),
+                                byte_miss_ratio: point.byte_miss_ratio(),
+                                person_minutes_per_day: point.stats.person_minutes_per_day(
+                                    eval_config.wait_s_per_miss,
+                                    eval_config.trace_days,
+                                ),
+                                latency: None,
+                            });
+                        }
+                    }
+                }
+            }
+            ShardReport {
+                preset: config.presets[shard.preset_idx],
+                scale: config.scales[shard.scale_idx],
+                workload_seed: config.workload_seed(shard.preset_idx, shard.scale_idx),
+                sim_seed: config.sim_seed(shard.preset_idx, shard.scale_idx),
+                records: shard.records,
+                files: shard.files,
+                referenced_gb: shard.referenced_bytes as f64 / 1e9,
+                read_share: shard.read_share,
+                mean_read_latency_s: shard.mean_read_latency_s,
+                mean_write_latency_s: shard.mean_write_latency_s,
+                paper_deltas: shard.paper_deltas,
+                cells,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -337,8 +516,8 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_the_report() {
-        // At least two shards, or the pool clamps both runs to one
-        // worker and the comparison proves nothing.
+        // At least two shards, or phase 1 runs serially and the
+        // comparison exercises less of the scheduler.
         let mut serial = SweepConfig::tiny();
         serial.scales = vec![0.002, 0.003];
         serial.simulate_devices = false;
@@ -346,6 +525,22 @@ mod tests {
         serial.workers = 1;
         parallel.workers = 4;
         assert!(serial.shard_count() >= 2);
+        assert_eq!(run_sweep(&serial), run_sweep(&parallel));
+    }
+
+    #[test]
+    fn one_shard_many_cells_is_worker_count_invariant() {
+        // Cell-level splitting: a single-shard latency matrix has one
+        // phase-1 task but many phase-2 units, so a wide pool must still
+        // assemble the identical report.
+        let mut serial = SweepConfig::tiny();
+        serial.latency = true;
+        serial.simulate_devices = false;
+        let mut parallel = serial.clone();
+        serial.workers = 1;
+        parallel.workers = 8;
+        assert_eq!(serial.shard_count(), 1);
+        assert!(parallel.cell_count() >= 8);
         assert_eq!(run_sweep(&serial), run_sweep(&parallel));
     }
 

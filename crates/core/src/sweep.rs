@@ -335,8 +335,9 @@ pub struct SweepConfig {
     /// default — reproduces the pre-fault report byte for byte. An
     /// empty vector behaves as `[None]`.
     pub faults: Vec<FaultScenarioId>,
-    /// Worker threads; 0 means one per available CPU, capped at the
-    /// shard count. Any value produces the identical report.
+    /// Worker threads; 0 means one per available CPU, capped at each
+    /// phase's task count (shards during preparation, cell units during
+    /// execution). Any value produces the identical report.
     pub workers: usize,
 }
 
@@ -384,6 +385,37 @@ impl SweepConfig {
             latency: false,
             faults: vec![FaultScenarioId::None],
             workers: 0,
+        }
+    }
+
+    /// The scaling matrix: one policy, one open-loop cell, at a scale
+    /// that interns ~1 million distinct files (≈1.1× the paper's 900 k
+    /// store, ~4 M raw references). Devices and latency are off — the
+    /// point of this preset is the replay hot path itself: it must
+    /// complete a single-policy open-loop sweep cell under bounded
+    /// memory, which the dense-id arenas make a matter of one
+    /// `Vec<PreparedRef>` plus flat per-file state.
+    pub fn large() -> Self {
+        SweepConfig {
+            policies: vec![PolicyId::Lru],
+            presets: vec![PresetId::Ncar],
+            scales: vec![1.1],
+            cache_fractions: vec![0.015],
+            base_seed: 0x5357_4545,
+            simulate_devices: false,
+            latency: false,
+            faults: vec![FaultScenarioId::None],
+            workers: 0,
+        }
+    }
+
+    /// [`SweepConfig::large`] pushed to ~4× the paper's store (~3.6 M
+    /// distinct files): a headroom check that the `u32` id space and
+    /// the arena layout keep scaling past anything the trace needs.
+    pub fn huge() -> Self {
+        SweepConfig {
+            scales: vec![4.0],
+            ..Self::large()
         }
     }
 

@@ -25,6 +25,26 @@
 //! hit/miss/eviction decisions on the same reference sequence, which is
 //! what lets the closed loop reproduce open-loop miss ratios exactly.
 //!
+//! # Dense identity and the entry arena
+//!
+//! Files are named by [`FileId`] — the dense index handed out by
+//! [`fmig_trace::FileTable`] at trace preparation. Per-file state lives
+//! in a flat arena (`Vec<Option<Entry>>` addressed by `id.index()`), so
+//! the replay hot path never hashes: a hit is one bounds check and one
+//! array load. A slot is vacated on eviction and *reused* when the same
+//! file re-enters; a per-slot epoch counts (re-)creations
+//! ([`DiskCache::slot_epoch`]) as the observable arena invariant. Slot
+//! reuse cannot alias stale eviction-index keys onto a re-created entry
+//! (no ABA): pop-time validation is by *value* — a popped key counts
+//! only if the live entry's current affine intercept equals the key's
+//! bit-for-bit — so a stale key for a previous incarnation either
+//! matches the new intercept (then it *is* the correct current key) or
+//! is discarded, exactly as if the entry had mutated in place.
+//!
+//! The convenience [`From`] conversions on [`FileId`] keep integer-
+//! literal call sites (`cache.read(7, ...)`) compiling; they are the
+//! thin interning adapter over the old `u64`-keyed API.
+//!
 //! # Victim ranking
 //!
 //! A watermark purge must evict files in `(priority desc, id asc)`
@@ -44,8 +64,7 @@
 //! `sort_unstable`. The paths produce bit-identical victim sequences;
 //! `tests/mrc_index.rs` property-tests that equivalence.
 
-use std::collections::HashMap;
-
+use fmig_trace::FileId;
 use serde::{Deserialize, Serialize};
 
 use crate::policy::{FileView, MigrationPolicy};
@@ -148,7 +167,7 @@ pub enum CacheOp {
     /// (larger than the whole cache).
     Fetch {
         /// File being recalled.
-        id: u64,
+        id: FileId,
         /// Bytes to recall.
         bytes: u64,
     },
@@ -156,7 +175,7 @@ pub enum CacheOp {
     /// a background tape flush.
     Writeback {
         /// File whose dirty data is queued for tape.
-        id: u64,
+        id: FileId,
         /// Bytes to flush.
         bytes: u64,
     },
@@ -164,7 +183,7 @@ pub enum CacheOp {
     /// watermark — a demand eviction the triggering reference stalls on.
     StallFlush {
         /// Victim file.
-        id: u64,
+        id: FileId,
         /// Bytes flushed.
         bytes: u64,
     },
@@ -172,14 +191,14 @@ pub enum CacheOp {
     /// purge, below the high watermark on the way to the low one.
     PurgeFlush {
         /// Victim file.
-        id: u64,
+        id: FileId,
         /// Bytes flushed.
         bytes: u64,
     },
     /// A clean victim dropped; no tape traffic results.
     Drop {
         /// Victim file.
-        id: u64,
+        id: FileId,
         /// Bytes freed.
         bytes: u64,
     },
@@ -286,11 +305,19 @@ enum IndexState {
     Rescan,
 }
 
-/// A policy-driven disk cache.
+/// A policy-driven disk cache with arena-backed per-file state.
 pub struct DiskCache<'p> {
     config: CacheConfig,
     policy: &'p dyn MigrationPolicy,
-    entries: HashMap<u64, Entry>,
+    /// Per-file entry arena indexed by [`FileId`]; `None` = not
+    /// resident. Slots are reused across an evict/re-create cycle.
+    slots: Vec<Option<Entry>>,
+    /// Per-slot (re-)creation counter, parallel to `slots`; survives
+    /// eviction, so a test can observe that a purge + re-create reused
+    /// the slot instead of aliasing the old incarnation.
+    epochs: Vec<u32>,
+    /// Files currently resident (`slots` is mostly `None` at scale).
+    resident: usize,
     usage: u64,
     stats: CacheStats,
     index: IndexState,
@@ -309,9 +336,13 @@ pub struct DiskCache<'p> {
     /// feedback), under which latency-aware policies degrade to their
     /// latency-blind counterparts exactly.
     est_miss_wait_s: f64,
+    /// Rescan-purge scratch: the ranked candidate list is built here so
+    /// repeated purges reuse one allocation instead of paying a fresh
+    /// `Vec` each time.
+    scratch: Vec<(f64, FileId)>,
 }
 
-fn view(id: u64, e: &Entry) -> FileView {
+fn view(id: FileId, e: &Entry) -> FileView {
     FileView {
         id,
         size: e.size,
@@ -355,7 +386,9 @@ impl<'p> DiskCache<'p> {
         DiskCache {
             config,
             policy,
-            entries: HashMap::new(),
+            slots: Vec::new(),
+            epochs: Vec::new(),
+            resident: 0,
             usage: 0,
             stats: CacheStats::default(),
             index: match mode {
@@ -366,6 +399,18 @@ impl<'p> DiskCache<'p> {
             skip_read_touch: policy.read_touch_monotone(),
             max_now: i64::MIN,
             est_miss_wait_s: 0.0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pre-sizes the entry arena for a trace known to reference `files`
+    /// distinct files (e.g. [`crate::eval::PreparedTrace::file_count`]),
+    /// avoiding growth reallocations during replay. Purely an
+    /// optimization — the arena grows on demand either way.
+    pub fn reserve_files(&mut self, files: usize) {
+        if files > self.slots.len() {
+            self.slots.resize(files, None);
+            self.epochs.resize(files, 0);
         }
     }
 
@@ -407,12 +452,12 @@ impl<'p> DiskCache<'p> {
 
     /// Files resident.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.resident
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.resident == 0
     }
 
     /// Accumulated statistics.
@@ -421,8 +466,23 @@ impl<'p> DiskCache<'p> {
     }
 
     /// True if the file is resident.
-    pub fn contains(&self, id: u64) -> bool {
-        self.entries.contains_key(&id)
+    pub fn contains(&self, id: impl Into<FileId>) -> bool {
+        self.slot(id.into()).is_some()
+    }
+
+    /// Times `id`'s arena slot has been (re-)created, counting the
+    /// initial insert: `0` for a file never cached, `1` after its first
+    /// insert, `2` after an evict + re-insert, and so on. The counter
+    /// survives eviction — it is the observable half of the arena's
+    /// slot-reuse invariant (a re-created file occupies the *same* slot
+    /// under a fresh epoch; identity never aliases because pop-time
+    /// index validation is by value, not by slot generation).
+    pub fn slot_epoch(&self, id: impl Into<FileId>) -> u32 {
+        self.epochs.get(id.into().index()).copied().unwrap_or(0)
+    }
+
+    fn slot(&self, id: FileId) -> Option<&Entry> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
     }
 
     /// Processes a read reference; returns `true` on a hit.
@@ -433,7 +493,14 @@ impl<'p> DiskCache<'p> {
     /// This is the open-loop entry point: a miss's fetch completes
     /// instantly, so the cache never holds outstanding-fetch state and
     /// delayed hits cannot occur.
-    pub fn read(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) -> bool {
+    pub fn read(
+        &mut self,
+        id: impl Into<FileId>,
+        size: u64,
+        now: i64,
+        next_use: Option<i64>,
+    ) -> bool {
+        let id = id.into();
         let result = self.read_with(id, size, now, next_use, &mut |_| {});
         if result == ReadResult::Miss {
             self.fetch_complete(id);
@@ -450,15 +517,16 @@ impl<'p> DiskCache<'p> {
     /// would.
     pub fn read_with(
         &mut self,
-        id: u64,
+        id: impl Into<FileId>,
         size: u64,
         now: i64,
         next_use: Option<i64>,
         ops: &mut impl FnMut(CacheOp),
     ) -> ReadResult {
+        let id = id.into();
         self.note_time(now);
         let est = self.est_miss_wait_s;
-        if let Some(e) = self.entries.get_mut(&id) {
+        if let Some(e) = self.slots.get_mut(id.index()).and_then(Option::as_mut) {
             e.last_ref = now;
             e.ref_count += 1;
             e.next_use = next_use;
@@ -490,7 +558,7 @@ impl<'p> DiskCache<'p> {
     /// Processes a write reference; the file lands in the cache dirty.
     ///
     /// Open-loop counterpart of [`DiskCache::write_with`].
-    pub fn write(&mut self, id: u64, size: u64, now: i64, next_use: Option<i64>) {
+    pub fn write(&mut self, id: impl Into<FileId>, size: u64, now: i64, next_use: Option<i64>) {
         self.write_with(id, size, now, next_use, &mut |_| {});
     }
 
@@ -499,12 +567,13 @@ impl<'p> DiskCache<'p> {
     /// the write triggers reports its victims.
     pub fn write_with(
         &mut self,
-        id: u64,
+        id: impl Into<FileId>,
         size: u64,
         now: i64,
         next_use: Option<i64>,
         ops: &mut impl FnMut(CacheOp),
     ) {
+        let id = id.into();
         self.note_time(now);
         self.stats.writes += 1;
         if self.config.eager_writeback {
@@ -512,8 +581,8 @@ impl<'p> DiskCache<'p> {
             ops(CacheOp::Writeback { id, bytes: size });
         }
         let est = self.est_miss_wait_s;
-        if let Some(e) = self.entries.get_mut(&id) {
-            self.usage = self.usage - e.size + size;
+        if let Some(e) = self.slots.get_mut(id.index()).and_then(Option::as_mut) {
+            let old_size = e.size;
             e.size = size;
             e.last_ref = now;
             e.ref_count += 1;
@@ -521,6 +590,7 @@ impl<'p> DiskCache<'p> {
             e.est_miss_wait_s = est;
             e.dirty = !self.config.eager_writeback;
             let snapshot = *e;
+            self.usage = self.usage - old_size + size;
             self.index_upsert(id, snapshot);
             self.maybe_purge(now, ops);
             return;
@@ -534,8 +604,12 @@ impl<'p> DiskCache<'p> {
     /// actually outstanding; no-op (false) when the file is not resident
     /// — it may have been evicted while the recall was in flight, or
     /// bypassed the cache entirely.
-    pub fn fetch_complete(&mut self, id: u64) -> bool {
-        match self.entries.get_mut(&id) {
+    pub fn fetch_complete(&mut self, id: impl Into<FileId>) -> bool {
+        match self
+            .slots
+            .get_mut(id.into().index())
+            .and_then(Option::as_mut)
+        {
             Some(e) => {
                 let was = e.fetching;
                 e.fetching = false;
@@ -556,8 +630,12 @@ impl<'p> DiskCache<'p> {
     /// Returns `true` if the file is resident (fetch re-armed); `false`
     /// when it was evicted mid-recall or bypassed the cache, where a
     /// retry's delivery will be a no-op too.
-    pub fn fetch_failed(&mut self, id: u64) -> bool {
-        match self.entries.get_mut(&id) {
+    pub fn fetch_failed(&mut self, id: impl Into<FileId>) -> bool {
+        match self
+            .slots
+            .get_mut(id.into().index())
+            .and_then(Option::as_mut)
+        {
             Some(e) => {
                 e.fetching = true;
                 true
@@ -569,7 +647,7 @@ impl<'p> DiskCache<'p> {
     #[expect(clippy::too_many_arguments)]
     fn insert(
         &mut self,
-        id: u64,
+        id: FileId,
         size: u64,
         now: i64,
         dirty: bool,
@@ -591,7 +669,14 @@ impl<'p> DiskCache<'p> {
             next_use,
             est_miss_wait_s: self.est_miss_wait_s,
         };
-        self.entries.insert(id, entry);
+        if id.index() >= self.slots.len() {
+            self.slots.resize(id.index() + 1, None);
+            self.epochs.resize(id.index() + 1, 0);
+        }
+        debug_assert!(self.slots[id.index()].is_none(), "insert over a resident");
+        self.slots[id.index()] = Some(entry);
+        self.epochs[id.index()] += 1;
+        self.resident += 1;
         self.usage += size;
         self.index_upsert(id, entry);
         self.maybe_purge(now, ops);
@@ -613,7 +698,7 @@ impl<'p> DiskCache<'p> {
     /// degrades to the rescan if the policy withdraws the form or
     /// violates the shared-slope contract. `e` is the entry's state
     /// *after* the mutation being mirrored.
-    fn index_upsert(&mut self, id: u64, e: Entry) {
+    fn index_upsert(&mut self, id: FileId, e: Entry) {
         let IndexState::Active(idx) = &mut self.index else {
             return;
         };
@@ -621,14 +706,14 @@ impl<'p> DiskCache<'p> {
             Some(a) if a.slope.to_bits() == idx.slope_bits => {
                 idx.rank.push(RankKey {
                     intercept: a.intercept,
-                    id,
+                    id: u64::from(id),
                     payload: (),
                 });
                 // Stale keys (older keys of mutated or evicted files)
                 // are resolved at pop time; once they dominate, rebuild
                 // from the resident set so memory and pop cost stay
                 // proportional to it.
-                if idx.rank.len() > self.entries.len() * 2 + 64 {
+                if idx.rank.len() > self.resident * 2 + 64 {
                     self.index = self.build_index();
                 }
             }
@@ -648,7 +733,7 @@ impl<'p> DiskCache<'p> {
         // rescan actually hurts; until then the (cheap) rescan runs and
         // no index is maintained.
         if matches!(self.index, IndexState::Unprobed)
-            && (self.eager_index || self.entries.len() >= INDEX_MIN_RESIDENTS)
+            && (self.eager_index || self.resident >= INDEX_MIN_RESIDENTS)
         {
             self.index = self.build_index();
         }
@@ -663,8 +748,8 @@ impl<'p> DiskCache<'p> {
     /// disagreement means the exact rescan (terminal).
     fn build_index(&self) -> IndexState {
         let mut slope_bits = None;
-        let mut keys = Vec::with_capacity(self.entries.len());
-        for (&id, e) in &self.entries {
+        let mut keys = Vec::with_capacity(self.resident);
+        for (id, e) in self.residents() {
             match self.policy.affine(&view(id, e)) {
                 Some(a) => {
                     if *slope_bits.get_or_insert(a.slope.to_bits()) != a.slope.to_bits() {
@@ -672,7 +757,7 @@ impl<'p> DiskCache<'p> {
                     }
                     keys.push(RankKey {
                         intercept: a.intercept,
-                        id,
+                        id: u64::from(id),
                         payload: (),
                     });
                 }
@@ -686,6 +771,14 @@ impl<'p> DiskCache<'p> {
             }),
             None => IndexState::Rescan,
         }
+    }
+
+    /// Iterates the resident entries in ascending-id (arena) order.
+    fn residents(&self) -> impl Iterator<Item = (FileId, &Entry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (FileId::from(i), e)))
     }
 
     /// Amortized-log purge: pop victims off the incremental index until
@@ -702,27 +795,34 @@ impl<'p> DiskCache<'p> {
             // that intercept. Keys only ever overestimate (mutations
             // that can raise a key push eagerly; skipped read-touch
             // pushes only lower it), so deflating stale keys converges
-            // on the exact maximum with the id tie-break intact.
+            // on the exact maximum with the id tie-break intact. The
+            // value-based check also covers arena slot reuse: a key
+            // from a victim's previous incarnation either equals the
+            // re-created entry's current intercept (then it is the
+            // correct current key) or deflates like any stale key.
             let slope_bits = idx.slope_bits;
-            let entries = &self.entries;
+            let slots = &self.slots;
             let policy = self.policy;
-            let popped = idx.rank.pop_best(|key| match entries.get(&key.id) {
-                None => Candidate::Gone, // evicted since this key was pushed
-                Some(e) => match policy.affine(&view(key.id, e)) {
-                    Some(a)
-                        if a.slope.to_bits() == slope_bits
-                            && a.intercept.to_bits() == key.intercept.to_bits() =>
-                    {
-                        Candidate::Live
-                    }
-                    Some(a) if a.slope.to_bits() == slope_bits => Candidate::Moved(a.intercept),
-                    // The policy withdrew the form or moved the slope
-                    // mid-run: contract violation.
-                    _ => Candidate::Abort,
-                },
+            let popped = idx.rank.pop_best(|key| {
+                let id = FileId::new(key.id as u32);
+                match slots.get(id.index()).and_then(Option::as_ref) {
+                    None => Candidate::Gone, // evicted since this key was pushed
+                    Some(e) => match policy.affine(&view(id, e)) {
+                        Some(a)
+                            if a.slope.to_bits() == slope_bits
+                                && a.intercept.to_bits() == key.intercept.to_bits() =>
+                        {
+                            Candidate::Live
+                        }
+                        Some(a) if a.slope.to_bits() == slope_bits => Candidate::Moved(a.intercept),
+                        // The policy withdrew the form or moved the slope
+                        // mid-run: contract violation.
+                        _ => Candidate::Abort,
+                    },
+                }
             });
             match popped {
-                Popped::Victim(key) => self.evict(key.id, high, ops),
+                Popped::Victim(key) => self.evict(FileId::new(key.id as u32), high, ops),
                 // Dry with residents left, or a contract violation:
                 // degrade to the always-correct rescan rather than
                 // under-purge. Unreachable for well-behaved policies.
@@ -738,37 +838,41 @@ impl<'p> DiskCache<'p> {
     /// The exact fallback: rank every resident file by eviction priority
     /// at `now`, highest first, and evict down to the low watermark.
     fn purge_rescan(&mut self, now: i64, high: u64, low: u64, ops: &mut impl FnMut(CacheOp)) {
-        let mut ranked: Vec<(f64, u64)> = self
-            .entries
-            .iter()
-            .map(|(&id, e)| (self.policy.priority(&view(id, e), now), id))
-            .collect();
+        let mut ranked = std::mem::take(&mut self.scratch);
+        ranked.clear();
+        ranked.extend(
+            self.residents()
+                .map(|(id, e)| (self.policy.priority(&view(id, e), now), id)),
+        );
         // Total order: priority descending, then id ascending. The id
-        // tie-break matters — `entries` is a HashMap, whose iteration
-        // order is randomized per instance, and policies produce tied
-        // priorities routinely (LRU under equal timestamps, Belady's
-        // never-used-again class). Without it, two replays of the same
-        // trace evict different files and miss ratios wobble.
+        // tie-break matters — policies produce tied priorities routinely
+        // (LRU under equal timestamps, Belady's never-used-again class)
+        // and the victim sequence must be reproducible. The arena
+        // already iterates in ascending-id order, but the sort must
+        // still encode the tie-break to stay a total order.
         // `total_cmp` keeps the sort panic-free even for a NaN priority
         // (NaN ranks above +inf, i.e. leaves first), and the unstable
         // sort is safe because the order is total.
         ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, id) in ranked {
+        for &(_, id) in &ranked {
             if self.usage <= low {
                 break;
             }
             self.evict(id, high, ops);
         }
+        // Hand the allocation back for the next purge.
+        self.scratch = ranked;
     }
 
     /// Shared eviction bookkeeping for both purge paths.
-    fn evict(&mut self, id: u64, high: u64, ops: &mut impl FnMut(CacheOp)) {
+    fn evict(&mut self, id: FileId, high: u64, ops: &mut impl FnMut(CacheOp)) {
         // Victims chosen while still above the high watermark free
         // space the triggering reference needs *now*: a dirty flush
         // there is a stall. Once back under the high mark the rest
         // of the purge (down to the low mark) is background cleanup.
         let stall = self.usage > high;
-        let e = self.entries.remove(&id).expect("victim is resident");
+        let e = self.slots[id.index()].take().expect("victim is resident");
+        self.resident -= 1;
         self.usage -= e.size;
         self.stats.evictions += 1;
         self.stats.evicted_bytes += e.size;
@@ -792,7 +896,7 @@ impl core::fmt::Debug for DiskCache<'_> {
         f.debug_struct("DiskCache")
             .field("policy", &self.policy.name())
             .field("usage", &self.usage)
-            .field("files", &self.entries.len())
+            .field("files", &self.resident)
             .field("indexed", &self.uses_eviction_index())
             .finish()
     }
@@ -934,7 +1038,7 @@ mod tests {
     #[test]
     fn tied_priorities_evict_deterministically() {
         // All files written at the same instant: LRU priorities all tie,
-        // so eviction must fall back to the id order, not HashMap order.
+        // so eviction must fall back to the id order, not storage order.
         let run = || {
             let lru = Lru;
             let mut c = DiskCache::new(cfg(1000), &lru);
@@ -978,7 +1082,13 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, CacheOp::PurgeFlush { .. }))
             .collect();
-        assert_eq!(stalls, [&CacheOp::StallFlush { id: 0, bytes: 100 }]);
+        assert_eq!(
+            stalls,
+            [&CacheOp::StallFlush {
+                id: FileId::new(0),
+                bytes: 100
+            }]
+        );
         assert_eq!(purges.len(), 4);
         // Eager mode: same trace, everything goes out as writebacks and
         // both eviction-flush counters stay zero.
@@ -1005,7 +1115,13 @@ mod tests {
         let mut fetches = Vec::new();
         let r = c.read_with(1, 100, 0, None, &mut |op| fetches.push(op));
         assert_eq!(r, ReadResult::Miss);
-        assert_eq!(fetches, [CacheOp::Fetch { id: 1, bytes: 100 }]);
+        assert_eq!(
+            fetches,
+            [CacheOp::Fetch {
+                id: FileId::new(1),
+                bytes: 100
+            }]
+        );
         // While the recall is in flight, further reads coalesce.
         let r = c.read_with(1, 100, 5, None, &mut |_| {});
         assert_eq!(r, ReadResult::DelayedHit);
@@ -1088,6 +1204,44 @@ mod tests {
             }
         }
         assert_eq!(open.stats(), event.stats());
+    }
+
+    #[test]
+    fn slot_reuse_counts_epochs_and_keeps_identity_fresh() {
+        // Create-after-purge regression: a file evicted by a purge and
+        // re-created later must reuse its arena slot under a bumped
+        // epoch, with the re-created entry starting from fresh state
+        // (no ABA onto the evicted incarnation).
+        let lru = Lru;
+        let mut c = DiskCache::new(cfg(1000), &lru);
+        assert_eq!(c.slot_epoch(0), 0, "untouched slot has epoch 0");
+        for i in 0..10 {
+            c.write(i, 100, i as i64, None);
+        }
+        // The purge evicted the oldest files; file 0 is gone.
+        assert!(!c.contains(0));
+        assert_eq!(c.slot_epoch(0), 1, "eviction does not clear the epoch");
+        let residents_before = c.len();
+        // Re-create file 0: same slot, next epoch, fresh entry state.
+        c.write(0, 120, 50, None);
+        assert!(c.contains(0));
+        assert_eq!(c.slot_epoch(0), 2);
+        assert_eq!(c.len(), residents_before + 1);
+        // The re-created incarnation is fresh: its ref_count restarted,
+        // so an immediately following purge ranks it by the *new*
+        // last_ref (t=50, the youngest), not the dead incarnation's.
+        for i in 20..26 {
+            c.write(i, 100, 60 + i as i64, None);
+        }
+        assert!(
+            c.contains(0),
+            "re-created file ranked by its new recency, not its old one"
+        );
+        // A survivor that never left still sits at epoch 1.
+        let survivor = (0..10).find(|&i| i > 0 && c.contains(i));
+        if let Some(s) = survivor {
+            assert_eq!(c.slot_epoch(s), 1);
+        }
     }
 
     /// Replays one op sequence through an indexed and a rescan cache and
@@ -1205,10 +1359,10 @@ mod tests {
                 "NaN".into()
             }
             fn priority(&self, file: &FileView, _now: i64) -> f64 {
-                if file.id.is_multiple_of(2) {
+                if file.id.raw().is_multiple_of(2) {
                     f64::NAN
                 } else {
-                    file.id as f64
+                    f64::from(file.id.raw())
                 }
             }
         }

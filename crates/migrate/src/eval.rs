@@ -7,10 +7,8 @@
 //! next-use time so Belady's clairvoyant bound runs as an ordinary
 //! policy. Policies are evaluated on worker threads (one per policy).
 
-use std::collections::HashMap;
-
 use fmig_trace::time::TRACE_DAYS;
-use fmig_trace::{DeviceClass, Direction, TraceRecord};
+use fmig_trace::{DeviceClass, Direction, FileId, FileTable, TraceRecord};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -146,8 +144,10 @@ impl PolicyOutcome {
 /// the exact reference sequence open-loop evaluation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreparedRef {
-    /// Dense file id interned from the MSS path.
-    pub id: u64,
+    /// Dense file id interned from the MSS path (see
+    /// [`fmig_trace::FileTable`]); also the arena index for every
+    /// per-file slot downstream.
+    pub id: FileId,
     /// File size in bytes (at least 1).
     pub size: u64,
     /// True for writes.
@@ -165,13 +165,14 @@ pub struct PreparedRef {
 /// off a generator or the simulator's streaming sink, no `Vec` of
 /// records needed), then [`TracePrep::finish`] into a [`PreparedTrace`].
 ///
-/// Paths are interned to dense ids as they arrive; the Belady next-use
-/// oracle is a reverse sweep, so it runs once at `finish`. The per-record
-/// state kept here is a 40-byte `Copy` struct plus one owned path string
-/// per *unique* file — far lighter than the records themselves.
+/// Paths are interned to dense [`FileId`]s through one shared
+/// [`FileTable`] as they arrive; the Belady next-use oracle is a reverse
+/// sweep, so it runs once at `finish`. The per-record state kept here is
+/// a compact `Copy` struct plus one owned path string per *unique* file
+/// — far lighter than the records themselves.
 #[derive(Debug, Default)]
 pub struct TracePrep {
-    ids: HashMap<String, u64>,
+    table: FileTable,
     refs: Vec<PreparedRef>,
 }
 
@@ -186,14 +187,7 @@ impl TracePrep {
         if rec.error.is_some() {
             return;
         }
-        let id = match self.ids.get(rec.mss_path.as_str()) {
-            Some(&id) => id,
-            None => {
-                let id = self.ids.len() as u64;
-                self.ids.insert(rec.mss_path.clone(), id);
-                id
-            }
-        };
+        let id = self.table.intern(rec.mss_path.as_str());
         self.refs.push(PreparedRef {
             id,
             size: rec.file_size.max(1),
@@ -205,14 +199,24 @@ impl TracePrep {
     }
 
     /// Runs the reverse next-use sweep and seals the trace for replay.
+    ///
+    /// Because ids are dense, the sweep's "latest time seen per file"
+    /// state is a flat `Vec<i64>` indexed by [`FileId`], not a hash map.
     pub fn finish(self) -> PreparedTrace {
         let mut refs = self.refs;
-        let mut next_seen: HashMap<u64, i64> = HashMap::new();
+        // Trace times are non-negative Unix seconds, so MIN is free as
+        // the "not seen yet" sentinel.
+        let mut next_seen = vec![i64::MIN; self.table.len()];
         for r in refs.iter_mut().rev() {
-            r.next_use = next_seen.get(&r.id).copied();
-            next_seen.insert(r.id, r.time);
+            let slot = &mut next_seen[r.id.index()];
+            r.next_use = (*slot != i64::MIN).then_some(*slot);
+            *slot = r.time;
         }
-        PreparedTrace { refs }
+        PreparedTrace {
+            refs,
+            file_count: self.table.len(),
+            table: self.table,
+        }
     }
 }
 
@@ -220,6 +224,8 @@ impl TracePrep {
 #[derive(Debug, Clone)]
 pub struct PreparedTrace {
     refs: Vec<PreparedRef>,
+    table: FileTable,
+    file_count: usize,
 }
 
 impl PreparedTrace {
@@ -239,9 +245,22 @@ impl PreparedTrace {
         &self.refs
     }
 
+    /// Number of distinct files the trace references — the arena extent
+    /// every [`FileId`] in [`PreparedTrace::refs`] indexes into.
+    pub fn file_count(&self) -> usize {
+        self.file_count
+    }
+
+    /// The interner that assigned the dense ids; maps a [`FileId`] back
+    /// to its MSS path. Empty for traces built by
+    /// [`PreparedTrace::from_refs`].
+    pub fn files(&self) -> &FileTable {
+        &self.table
+    }
+
     /// Replays one policy over the trace.
     pub fn replay(&self, policy: &dyn MigrationPolicy, config: &EvalConfig) -> PolicyOutcome {
-        let stats = replay(&self.refs, policy, config);
+        let stats = replay(&self.refs, self.file_count, policy, config);
         PolicyOutcome {
             name: policy.name(),
             stats,
@@ -340,7 +359,16 @@ impl PreparedTrace {
     /// for the invariants [`TracePrep`] normally establishes: times in
     /// trace order and `next_use` from a consistent reverse sweep.
     pub fn from_refs(refs: Vec<PreparedRef>) -> Self {
-        PreparedTrace { refs }
+        let file_count = refs
+            .iter()
+            .map(|r| r.id.index() + 1)
+            .max()
+            .unwrap_or_default();
+        PreparedTrace {
+            refs,
+            table: FileTable::new(),
+            file_count,
+        }
     }
 }
 
@@ -355,10 +383,15 @@ pub fn prepare<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> Prepar
 
 fn replay(
     prepared: &[PreparedRef],
+    file_count: usize,
     policy: &dyn MigrationPolicy,
     config: &EvalConfig,
 ) -> CacheStats {
     let mut cache = DiskCache::new(config.cache, policy);
+    // The trace's file universe is known up front, so the per-file
+    // arenas are sized once here instead of growing through doubling
+    // reallocations mid-replay.
+    cache.reserve_files(file_count);
     // Open-loop fallback for the miss-latency feedback channel: no
     // device model runs, so every entry carries the flat per-miss wait
     // constant (see `crate::feedback` for the closed-loop counterpart).

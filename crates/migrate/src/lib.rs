@@ -14,6 +14,8 @@
 //! * [`feedback`] — the miss-latency feedback channel: an EWMA of
 //!   measured recall waits per (tape tier, size class) that the
 //!   closed-loop engine publishes to latency-aware policies;
+//! * [`hashed`] — the frozen pre-dense-identity cache baseline, kept
+//!   as the scaling gate's reference and the equivalence oracle;
 //! * [`dedup`] — §6's eight-hour same-file request deduplication;
 //! * [`writeback`] — §6's lazy write-behind trace transformation;
 //! * [`prefetch`] — sequential (day-1 → day-2) prefetch predictability;
@@ -39,6 +41,7 @@ pub mod dedup;
 pub mod dividing;
 pub mod eval;
 pub mod feedback;
+pub mod hashed;
 pub mod mrc;
 pub mod policy;
 pub mod prefetch;
@@ -52,6 +55,7 @@ pub use cache::{
 pub use dedup::DedupReport;
 pub use dividing::{DeviceModel, DividingPointStudy, DividingRow};
 pub use feedback::LatencyFeedback;
+pub use hashed::{HashedDiskCache, HashedInterner};
 
 pub use eval::{
     evaluate_policies, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,

@@ -17,9 +17,13 @@
 //! The engine here keeps exactness instead: one pass over the prepared
 //! trace drives a per-capacity priority stack for every grid point
 //! simultaneously, over **one shared file table**. Per reference it
-//! pays one id lookup (files are interned to dense indices) and then a
-//! contiguous row of per-capacity sub-states — where a naive sweep pays
-//! a full hash lookup *per capacity*. Only residency-dependent state
+//! pays *no* lookup at all — [`fmig_trace::FileId`] is already the
+//! dense arena index (the `FileTable` interned it at trace prep) —
+//! followed by a contiguous row of per-capacity sub-states, where a
+//! naive sweep pays a full hash lookup *per capacity*. (This engine's
+//! private `IdMap` pioneered that layout; the dense id went
+//! workspace-wide and the local copy is gone.) Only residency-dependent
+//! state
 //! (size as of the last insert/write, creation time, reference count,
 //! dirtiness) is per-capacity; `last_ref` and `next_use` are written by
 //! every touch in every cache that holds the file, so they live once
@@ -50,7 +54,7 @@
 //! latency cells still replay individually, since the device model's
 //! feedback is per-cell.
 
-use std::collections::HashMap;
+use fmig_trace::FileId;
 
 use crate::cache::{CacheConfig, CacheStats, DiskCache, EvictionMode, INDEX_MIN_RESIDENTS};
 use crate::eval::{EvalConfig, PolicyOutcome, PreparedRef};
@@ -114,82 +118,28 @@ impl MissRatioCurve {
     }
 }
 
-/// Maps trace file ids to dense engine indices on the per-reference hot
-/// path.
-#[derive(Debug)]
-enum IdMap {
-    /// Trace ids from [`crate::eval::TracePrep`] are already dense
-    /// (interned to `0..N`), so a flat table beats a hash map.
-    Dense(Vec<u32>),
-    /// Hand-built reference streams may use arbitrary ids: fall back to
-    /// hashing once an id would blow the flat table up.
-    Sparse(HashMap<u64, u32>),
-}
-
-impl IdMap {
-    const NONE: u32 = u32::MAX;
-    /// Largest id the flat table will grow to cover (16 MB of slots);
-    /// anything beyond converts the map to hashing.
-    const DENSE_LIMIT: u64 = 1 << 22;
-
-    fn new() -> Self {
-        IdMap::Dense(Vec::new())
-    }
-
-    fn intern(&mut self, id: u64, mut alloc: impl FnMut() -> u32) -> u32 {
-        match self {
-            IdMap::Dense(table) => {
-                let i = id as usize;
-                if i < table.len() {
-                    if table[i] != Self::NONE {
-                        return table[i];
-                    }
-                    let fidx = alloc();
-                    table[i] = fidx;
-                    return fidx;
-                }
-                if id < Self::DENSE_LIMIT {
-                    table.resize(i + 1, Self::NONE);
-                    let fidx = alloc();
-                    table[i] = fidx;
-                    return fidx;
-                }
-                let mut map: HashMap<u64, u32> = table
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &v)| v != Self::NONE)
-                    .map(|(k, &v)| (k as u64, v))
-                    .collect();
-                let fidx = alloc();
-                map.insert(id, fidx);
-                *self = IdMap::Sparse(map);
-                fidx
-            }
-            IdMap::Sparse(map) => {
-                if let Some(&fidx) = map.get(&id) {
-                    return fidx;
-                }
-                let fidx = alloc();
-                map.insert(id, fidx);
-                fidx
-            }
-        }
-    }
-}
-
 /// Per-file state every capacity shares: each touch writes these in
 /// every cache that holds (or just fetched) the file, so one copy is
 /// exact for all of them.
+///
+/// Indexed directly by [`FileId`] — the dense index *is* the file's
+/// identity (and the victim tie-break key), so no id field is stored.
 #[derive(Debug, Clone, Copy)]
 struct GlobalState {
-    /// The file's original (trace) id — the victim tie-break key.
-    id: u64,
     last_ref: i64,
     next_use: Option<i64>,
     /// Index of the file's latest entry in the shared recency log
     /// (recency-keyed policies only): a log entry is live iff it is the
     /// file's latest.
     last_seq: u32,
+}
+
+impl GlobalState {
+    const EMPTY: GlobalState = GlobalState {
+        last_ref: 0,
+        next_use: None,
+        last_seq: 0,
+    };
 }
 
 /// Residency-dependent state of one file in one capacity's stack.
@@ -247,9 +197,9 @@ struct Stack {
     cursor: usize,
 }
 
-fn sub_view(g: &GlobalState, sub: &SubState, est_miss_wait_s: f64) -> FileView {
+fn sub_view(fidx: u32, g: &GlobalState, sub: &SubState, est_miss_wait_s: f64) -> FileView {
     FileView {
-        id: g.id,
+        id: FileId::new(fidx),
         size: sub.size,
         last_ref: g.last_ref,
         created: sub.created,
@@ -322,7 +272,9 @@ impl Stack {
                 if t2 != time {
                     break;
                 }
-                if live(f2, j, subs) && globals[f2 as usize].id < globals[victim as usize].id {
+                // The dense index is the id, so this *is* the ascending-
+                // id tie-break.
+                if live(f2, j, subs) && f2 < victim {
                     victim = f2;
                 }
                 j += 1;
@@ -348,11 +300,11 @@ impl Stack {
         let RankMode::Active { slope_bits, rank } = &mut self.rank else {
             return false;
         };
-        match policy.affine(&sub_view(g, sub, est)) {
+        match policy.affine(&sub_view(fidx, g, sub, est)) {
             Some(a) if a.slope.to_bits() == *slope_bits => {
                 rank.push(RankKey {
                     intercept: a.intercept,
-                    id: g.id,
+                    id: u64::from(fidx),
                     payload: fidx,
                 });
                 rank.len() > self.residents.len() * 2 + 64
@@ -380,7 +332,7 @@ impl Stack {
         for &fidx in &self.residents {
             let g = &globals[fidx as usize];
             let sub = &subs[fidx as usize * grid + ci];
-            match policy.affine(&sub_view(g, sub, est)) {
+            match policy.affine(&sub_view(fidx, g, sub, est)) {
                 Some(a) => {
                     let bits = a.slope.to_bits();
                     if *slope_bits.get_or_insert(bits) != bits {
@@ -388,7 +340,7 @@ impl Stack {
                     }
                     keys.push(RankKey {
                         intercept: a.intercept,
-                        id: g.id,
+                        id: u64::from(fidx),
                         payload: fidx,
                     });
                 }
@@ -474,7 +426,7 @@ impl Stack {
                         return Candidate::Gone; // evicted since pushed
                     }
                     let g = &globals[key.payload as usize];
-                    match policy.affine(&sub_view(g, sub, est)) {
+                    match policy.affine(&sub_view(key.payload, g, sub, est)) {
                         Some(a)
                             if a.slope.to_bits() == slope_bits
                                 && a.intercept.to_bits() == key.intercept.to_bits() =>
@@ -501,17 +453,18 @@ impl Stack {
         // Exact rescan: rank every resident at `now`, highest priority
         // first, id-ascending tie-break — identical to
         // `DiskCache::purge_rescan`.
-        let mut ranked: Vec<(f64, u64, u32)> = self
+        let mut ranked: Vec<(f64, u32)> = self
             .residents
             .iter()
             .map(|&fidx| {
                 let g = &globals[fidx as usize];
                 let sub = &subs[fidx as usize * grid + ci];
-                (policy.priority(&sub_view(g, sub, est), now), g.id, fidx)
+                (policy.priority(&sub_view(fidx, g, sub, est), now), fidx)
             })
             .collect();
+        // Priority descending, then dense id (== index) ascending.
         ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, _, fidx) in ranked {
+        for (_, fidx) in ranked {
             if self.usage <= self.low {
                 break;
             }
@@ -563,21 +516,18 @@ pub fn sweep_capacities(
     // one shared chronological touch log; see `maybe_purge_recency`.
     let mut recency = policy.recency_keyed();
     let mut log: Vec<(i64, u32)> = Vec::new();
-    let mut ids = IdMap::new();
     let mut globals: Vec<GlobalState> = Vec::new();
     let mut subs: Vec<SubState> = Vec::new();
     let mut max_now = i64::MIN;
     for r in refs {
-        let fidx = ids.intern(r.id, || {
-            globals.push(GlobalState {
-                id: r.id,
-                last_ref: 0,
-                next_use: None,
-                last_seq: 0,
-            });
+        // The dense id is the arena index — no interning, no lookup.
+        // Grow the shared table and the per-capacity rows lazily to
+        // cover it (hand-built streams may arrive out of dense order).
+        let fidx = r.id.raw();
+        if r.id.index() >= globals.len() {
+            globals.resize(r.id.index() + 1, GlobalState::EMPTY);
             subs.resize(globals.len() * grid, SubState::EMPTY);
-            (globals.len() - 1) as u32
-        });
+        }
         if r.time < max_now {
             // Monotone-clock guard, as in `DiskCache::note_time`: the
             // affine contract is void, every stack degrades for good.

@@ -33,13 +33,15 @@
 //! contract, `read_touch_monotone`, `recency_keyed`, `latency_aware` —
 //! is documented in `docs/policy-contract.md`.
 
+use fmig_trace::FileId;
 use serde::{Deserialize, Serialize};
 
 /// State a policy may consult about one cached file.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FileView {
-    /// Stable identifier of the file.
-    pub id: u64,
+    /// Dense identifier of the file (see [`fmig_trace::FileTable`]);
+    /// policy scoring never touches a hash.
+    pub id: FileId,
     /// File size in bytes.
     pub size: u64,
     /// Time of the most recent reference (seconds).
@@ -378,7 +380,7 @@ impl MigrationPolicy for RandomEvict {
     fn priority(&self, file: &FileView, now: i64) -> f64 {
         // Hash of (id, salt, coarse time) so the ordering reshuffles over
         // time but stays deterministic.
-        let mut x = file.id ^ self.salt ^ ((now / 86_400) as u64).wrapping_mul(0x9E37);
+        let mut x = u64::from(file.id) ^ self.salt ^ ((now / 86_400) as u64).wrapping_mul(0x9E37);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 33;
@@ -551,7 +553,7 @@ mod tests {
 
     fn file(id: u64, size: u64, last_ref: i64, ref_count: u32) -> FileView {
         FileView {
-            id,
+            id: FileId::from(id),
             size,
             last_ref,
             created: 0,

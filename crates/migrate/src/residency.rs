@@ -15,10 +15,8 @@
 //! time would have been — the knob the paper's §6 discussion (and our
 //! workload generator's placement pass) turns.
 
-use std::collections::HashMap;
-
 use fmig_trace::time::DAY;
-use fmig_trace::{DeviceClass, Direction, TraceRecord};
+use fmig_trace::{DeviceClass, Direction, FileTable, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::dividing::DeviceModel;
@@ -119,6 +117,12 @@ struct FileState {
 /// disk (small) or silo (large); a read's serving device follows from
 /// the file's age since last reference versus the windows. Peak disk
 /// bytes are tracked by expiring residents lazily.
+///
+/// Paths are interned through a [`FileTable`]; per-file state lives in
+/// a dense arena indexed by the resulting id, so the per-record cost is
+/// one interner probe plus an array load — the hash of the full path
+/// string happens once per (path, record), never per state access, and
+/// the daily expiry sweep is a linear walk of a flat `Vec`.
 pub fn replay<'a>(
     records: impl IntoIterator<Item = &'a TraceRecord>,
     policy: ResidencyPolicy,
@@ -126,7 +130,10 @@ pub fn replay<'a>(
 ) -> ResidencyOutcome {
     let disk_window = (policy.disk_days * DAY as f64) as i64;
     let silo_window = (policy.silo_days * DAY as f64) as i64;
-    let mut files: HashMap<&'a str, FileState> = HashMap::new();
+    let mut table = FileTable::new();
+    // Arena in id order: `table` assigns ids densely, so the state of
+    // file `id` lives at `files[id.index()]`, pushed at intern time.
+    let mut files: Vec<FileState> = Vec::new();
     let mut outcome = ResidencyOutcome::default();
     let mut response_sum = 0.0;
     let mut disk_bytes = 0u64;
@@ -139,23 +146,26 @@ pub fn replay<'a>(
         let t = rec.start.as_unix();
         // Lazily expire disk residents once a simulated day.
         if t - last_sweep > DAY {
-            files.retain(|_, f| {
+            for f in &mut files {
                 if f.disk_resident && t - f.last_ref > disk_window {
                     disk_bytes = disk_bytes.saturating_sub(f.size);
                     f.disk_resident = false;
                 }
-                true
-            });
+            }
             last_sweep = t;
         }
         let small = rec.file_size < policy.tape_threshold;
         match rec.direction() {
             Direction::Write => {
-                let entry = files.entry(rec.mss_path.as_str()).or_insert(FileState {
-                    last_ref: t,
-                    size: rec.file_size,
-                    disk_resident: false,
-                });
+                let id = table.intern(rec.mss_path.as_str());
+                if id.index() == files.len() {
+                    files.push(FileState {
+                        last_ref: t,
+                        size: rec.file_size,
+                        disk_resident: false,
+                    });
+                }
+                let entry = &mut files[id.index()];
                 if small && !entry.disk_resident {
                     entry.disk_resident = true;
                     disk_bytes += rec.file_size;
@@ -167,9 +177,9 @@ pub fn replay<'a>(
                 outcome.peak_disk_bytes = outcome.peak_disk_bytes.max(disk_bytes);
             }
             Direction::Read => {
-                let age = files
+                let age = table
                     .get(rec.mss_path.as_str())
-                    .map_or(i64::MAX / 4, |f| t - f.last_ref);
+                    .map_or(i64::MAX / 4, |id| t - files[id.index()].last_ref);
                 let device = if small {
                     if age <= disk_window {
                         DeviceClass::Disk
@@ -191,11 +201,15 @@ pub fn replay<'a>(
                 outcome.reads_by_device[idx] += 1;
                 response_sum += model.access_s(rec.file_size);
                 // A read re-stages small files to disk.
-                let entry = files.entry(rec.mss_path.as_str()).or_insert(FileState {
-                    last_ref: t,
-                    size: rec.file_size,
-                    disk_resident: false,
-                });
+                let id = table.intern(rec.mss_path.as_str());
+                if id.index() == files.len() {
+                    files.push(FileState {
+                        last_ref: t,
+                        size: rec.file_size,
+                        disk_resident: false,
+                    });
+                }
+                let entry = &mut files[id.index()];
                 if small && !entry.disk_resident {
                     entry.disk_resident = true;
                     disk_bytes += entry.size;

@@ -49,15 +49,13 @@
 //! cache's total eviction order: equal seeds replay identically, which
 //! is what lets sweep reports stay byte-identical at any worker count.
 
-use std::collections::HashMap;
-
 use fmig_migrate::cache::{CacheConfig, CacheOp, CacheStats, DiskCache, ReadResult};
 use fmig_migrate::eval::{
     DegradedOutcome, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
 };
 use fmig_migrate::feedback::LatencyFeedback;
 use fmig_migrate::policy::MigrationPolicy;
-use fmig_trace::DeviceClass;
+use fmig_trace::{DeviceClass, FileId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -93,8 +91,8 @@ pub enum ServedBy {
 pub struct RefOutcome {
     /// Index of the reference in the input slice.
     pub index: usize,
-    /// File id.
-    pub id: u64,
+    /// Dense file id (see [`fmig_trace::FileTable`]).
+    pub id: FileId,
     /// True for writes.
     pub write: bool,
     /// How the reference was served.
@@ -374,7 +372,7 @@ enum JobKind {
     Disk { r: usize },
     /// Tape recall for `file`, issued by reference `r`.
     Recall {
-        file: u64,
+        file: FileId,
         r: usize,
         /// Recall sequence number (the fault schedule's read-error
         /// counter).
@@ -397,7 +395,7 @@ enum JobKind {
 struct RefState {
     arrival_ms: SimMs,
     first_byte_ms: SimMs,
-    id: u64,
+    id: FileId,
     size: u64,
     write: bool,
     served: ServedBy,
@@ -429,10 +427,13 @@ struct Engine<'a, 'p> {
     fault: Option<DegradedOutcome>,
     states: Vec<RefState>,
     jobs: Vec<Job>,
-    /// Recalls in flight, by file id (only with coalescing on).
-    outstanding: HashMap<u64, OutstandingRecall>,
-    /// Each file's tape tier, from the trace's device annotations.
-    file_tape: HashMap<u64, DeviceClass>,
+    /// Recalls in flight (only with coalescing on): a dense arena
+    /// indexed by [`FileId`], grown on demand — `Some` exactly while a
+    /// recall for that file is outstanding.
+    outstanding: Vec<Option<OutstandingRecall>>,
+    /// Each file's tape tier, from the trace's device annotations, in
+    /// the same [`FileId`]-indexed arena layout.
+    file_tape: Vec<Option<DeviceClass>>,
     /// Live miss-latency estimator: fed by every resolved recall,
     /// consulted (via the cache's hint) before every reference.
     feedback: LatencyFeedback,
@@ -469,8 +470,8 @@ impl<'a, 'p> Engine<'a, 'p> {
             schedule,
             states: Vec::new(),
             jobs: Vec::new(),
-            outstanding: HashMap::new(),
-            file_tape: HashMap::new(),
+            outstanding: Vec::new(),
+            file_tape: Vec::new(),
             feedback: LatencyFeedback::new(),
             ops: Vec::new(),
             next_emit: 0,
@@ -557,7 +558,11 @@ impl<'a, 'p> Engine<'a, 'p> {
     /// effects into device traffic.
     fn arrive(&mut self, i: usize, pr: &PreparedRef, t_ms: SimMs) {
         let tape = tape_of(pr.device);
-        self.file_tape.insert(pr.id, tape);
+        if pr.id.index() >= self.file_tape.len() {
+            self.file_tape.resize(pr.id.index() + 1, None);
+            self.outstanding.resize_with(self.file_tape.len(), || None);
+        }
+        self.file_tape[pr.id.index()] = Some(tape);
         // Publish the current miss-wait estimate for this file's tier
         // and size before the cache classifies the reference: the touch
         // stamps it onto the entry, where latency-aware policies read
@@ -581,7 +586,7 @@ impl<'a, 'p> Engine<'a, 'p> {
                 // Coalescing off: a delayed hit pays its own fetch.
                 ReadResult::DelayedHit => ServedBy::Recall,
                 ReadResult::Miss
-                    if self.cfg.recall_coalescing && self.outstanding.contains_key(&pr.id) =>
+                    if self.cfg.recall_coalescing && self.outstanding[pr.id.index()].is_some() =>
                 {
                     // The file was evicted (or bypassed the cache) while
                     // its recall is still in flight: the bytes are
@@ -643,14 +648,13 @@ impl<'a, 'p> Engine<'a, 'p> {
                 );
                 self.queue.push(t_ms + d, HEv::Dispatch(i));
                 if served == ServedBy::Recall && self.cfg.recall_coalescing {
-                    self.outstanding.insert(pr.id, OutstandingRecall::default());
+                    self.outstanding[pr.id.index()] = Some(OutstandingRecall::default());
                 }
             }
             ServedBy::DelayedHit => {
                 self.metrics.delayed_hits += 1;
-                let o = self
-                    .outstanding
-                    .get_mut(&pr.id)
+                let o = self.outstanding[pr.id.index()]
+                    .as_mut()
                     .expect("delayed hit implies an outstanding recall");
                 match o.first_byte_ms {
                     // Data already streaming to disk: served on arrival.
@@ -662,11 +666,12 @@ impl<'a, 'p> Engine<'a, 'p> {
     }
 
     /// Creates a background tape-flush job and schedules its queue entry.
-    fn spawn_flush(&mut self, file: u64, bytes: u64, gated: Option<usize>, at: SimMs) {
+    fn spawn_flush(&mut self, file: FileId, bytes: u64, gated: Option<usize>, at: SimMs) {
         let tape = self
             .file_tape
-            .get(&file)
+            .get(file.index())
             .copied()
+            .flatten()
             .unwrap_or(DeviceClass::TapeSilo);
         let j = self.jobs.len();
         self.jobs.push(Job {
@@ -829,7 +834,7 @@ impl<'a, 'p> Engine<'a, 'p> {
             device: DeviceClass::Disk,
             write,
             size,
-            spindle: id as usize % self.spindles.len(),
+            spindle: id.index() % self.spindles.len(),
             queued_ms: now,
         });
         let spindle = self.jobs[j].spindle;
@@ -996,7 +1001,7 @@ impl<'a, 'p> Engine<'a, 'p> {
                     *failing = true;
                 } else {
                     self.resolve_ref(r, first_byte);
-                    if let Some(o) = self.outstanding.get_mut(&file) {
+                    if let Some(o) = self.outstanding[file.index()].as_mut() {
                         o.first_byte_ms = Some(first_byte);
                         let waiters = std::mem::take(&mut o.waiters);
                         for w in waiters {
@@ -1081,7 +1086,7 @@ impl<'a, 'p> Engine<'a, 'p> {
                     // The file is fully staged: further reads are plain
                     // hits.
                     self.cache.fetch_complete(file);
-                    if let Some(o) = self.outstanding.remove(&file) {
+                    if let Some(o) = self.outstanding[file.index()].take() {
                         debug_assert!(o.waiters.is_empty(), "waiters resolve at first byte");
                     }
                     self.queue.push(now + d, HEv::DriveFree(j));
@@ -1187,7 +1192,7 @@ mod tests {
 
     fn silo_read(id: u64, t: i64, size: u64) -> PreparedRef {
         PreparedRef {
-            id,
+            id: id.into(),
             size,
             write: false,
             time: t,
@@ -1198,7 +1203,7 @@ mod tests {
 
     fn disk_write(id: u64, t: i64, size: u64) -> PreparedRef {
         PreparedRef {
-            id,
+            id: id.into(),
             size,
             write: true,
             time: t,
@@ -1628,7 +1633,7 @@ mod tests {
     #[test]
     fn manual_tier_files_restage_from_the_shelf() {
         let refs = vec![PreparedRef {
-            id: 1,
+            id: FileId::new(1),
             size: 50_000_000,
             write: false,
             time: 0,
@@ -1669,7 +1674,7 @@ mod proptests {
         ) {
             let refs: Vec<PreparedRef> = (0..n)
                 .map(|k| PreparedRef {
-                    id: (k % 3) as u64,
+                    id: FileId::new((k % 3) as u32),
                     size: 1_000_000 + k as u64 * 700_000,
                     write: k % 4 == 0,
                     time: k as i64 * 20,
@@ -1725,7 +1730,7 @@ mod proptests {
             let refs: Vec<PreparedRef> = times
                 .iter()
                 .map(|&t| PreparedRef {
-                    id: 42,
+                    id: FileId::new(42),
                     size,
                     write: false,
                     time: t,

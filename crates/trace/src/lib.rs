@@ -39,6 +39,7 @@
 pub mod codec;
 pub mod error;
 pub mod flags;
+pub mod ident;
 pub mod merge;
 pub mod record;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod time;
 pub use codec::{TraceReader, TraceWriter, VerboseLogWriter};
 pub use error::TraceError;
 pub use flags::FlagWord;
+pub use ident::{FileId, FileTable};
 pub use merge::{merge_sorted, MergedTrace};
 pub use record::{DeviceClass, Direction, Endpoint, ErrorKind, TraceRecord};
 pub use stats::{DeviceBreakdown, DirectionStats, TraceStats};

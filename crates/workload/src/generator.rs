@@ -25,7 +25,7 @@
 //!   cartridges needing an operator mount (§3.1, §6).
 
 use fmig_trace::time::{Timestamp, DAY, HOUR, TRACE_END, TRACE_EPOCH, TRACE_SECONDS};
-use fmig_trace::{DeviceClass, Endpoint, ErrorKind, TraceRecord};
+use fmig_trace::{DeviceClass, Endpoint, ErrorKind, FileId, FileTable, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -91,7 +91,14 @@ impl RawEvent {
 pub struct Workload {
     config: WorkloadConfig,
     namespace: Namespace,
-    dir_paths: Vec<String>,
+    /// Directory paths interned through the workspace-wide interner
+    /// (see [`fmig_trace::FileTable`]), replacing a module-local
+    /// `Vec<String>` id scheme. Distinct namespace nodes can render to
+    /// the same path (sibling subtrees reuse name pools at scale), and
+    /// the table dedupes those, so `dir_ids` carries the dense id for
+    /// each namespace directory index.
+    dirs: FileTable,
+    dir_ids: Vec<FileId>,
     files: Vec<FileMeta>,
     events: Vec<RawEvent>,
 }
@@ -103,8 +110,9 @@ impl Workload {
     pub fn generate(config: &WorkloadConfig) -> Self {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let namespace = Namespace::generate(config, &mut rng);
-        let dir_paths: Vec<String> = (0..namespace.len() as u32)
-            .map(|d| namespace.path(d))
+        let mut dirs = FileTable::with_capacity(namespace.len());
+        let dir_ids: Vec<FileId> = (0..namespace.len() as u32)
+            .map(|d| dirs.intern(&namespace.path(d)))
             .collect();
         let sizes = SizeModel::ncar(config.max_file_bytes);
         let read_model = RateModel::read(config.read_growth);
@@ -240,7 +248,8 @@ impl Workload {
         Workload {
             config: config.clone(),
             namespace,
-            dir_paths,
+            dirs,
+            dir_ids,
             files,
             events,
         }
@@ -282,7 +291,7 @@ impl Workload {
     ///
     /// Panics if `file` is out of range.
     pub fn file_path(&self, file: u32) -> String {
-        file_path_of(&self.files, &self.dir_paths, file)
+        file_path_of(&self.files, &self.dirs, &self.dir_ids, file)
     }
 
     /// Streams the workload as trace records, in time order.
@@ -290,7 +299,7 @@ impl Workload {
         self.events
             .iter()
             .enumerate()
-            .map(move |(i, ev)| render_event(&self.files, &self.dir_paths, i, ev))
+            .map(move |(i, ev)| render_event(&self.files, &self.dirs, &self.dir_ids, i, ev))
     }
 
     /// Consumes the workload into an owning record stream.
@@ -303,7 +312,8 @@ impl Workload {
     pub fn into_records(self) -> RecordStream {
         RecordStream {
             files: self.files,
-            dir_paths: self.dir_paths,
+            dirs: self.dirs,
+            dir_ids: self.dir_ids,
             events: self.events.into_iter(),
             seq: 0,
         }
@@ -314,7 +324,8 @@ impl Workload {
 #[derive(Debug, Clone)]
 pub struct RecordStream {
     files: Vec<FileMeta>,
-    dir_paths: Vec<String>,
+    dirs: FileTable,
+    dir_ids: Vec<FileId>,
     events: std::vec::IntoIter<RawEvent>,
     seq: usize,
 }
@@ -324,7 +335,7 @@ impl Iterator for RecordStream {
 
     fn next(&mut self) -> Option<TraceRecord> {
         let ev = self.events.next()?;
-        let rec = render_event(&self.files, &self.dir_paths, self.seq, &ev);
+        let rec = render_event(&self.files, &self.dirs, &self.dir_ids, self.seq, &ev);
         self.seq += 1;
         Some(rec)
     }
@@ -336,14 +347,18 @@ impl Iterator for RecordStream {
 
 impl ExactSizeIterator for RecordStream {}
 
-fn file_path_of(files: &[FileMeta], dir_paths: &[String], file: u32) -> String {
+fn file_path_of(files: &[FileMeta], dirs: &FileTable, dir_ids: &[FileId], file: u32) -> String {
     let meta = &files[file as usize];
-    format!("{}/f{:04}", dir_paths[meta.dir as usize], meta.name_seq)
+    let dir = dirs
+        .name(dir_ids[meta.dir as usize])
+        .expect("directory interned");
+    format!("{dir}/f{:04}", meta.name_seq)
 }
 
 fn render_event(
     files: &[FileMeta],
-    dir_paths: &[String],
+    dirs: &FileTable,
+    dir_ids: &[FileId],
     seq: usize,
     ev: &RawEvent,
 ) -> TraceRecord {
@@ -361,7 +376,7 @@ fn render_event(
     }
     let meta = &files[ev.file as usize];
     let device = ev.device_class().endpoint();
-    let path = file_path_of(files, dir_paths, ev.file);
+    let path = file_path_of(files, dirs, dir_ids, ev.file);
     let mut rec = match ev.kind {
         EventKind::Read => TraceRecord::read(device, start, meta.size, path, ev.uid),
         EventKind::Write => TraceRecord::write(device, start, meta.size, path, ev.uid),

@@ -20,7 +20,7 @@ use fmig_migrate::cache::{CacheConfig, CacheOp, DiskCache, EvictionMode};
 use fmig_migrate::eval::{EvalConfig, PreparedRef};
 use fmig_migrate::mrc::{sweep_capacities, sweep_capacities_naive};
 use fmig_migrate::policy::{standard_suite, Belady, MigrationPolicy};
-use fmig_trace::DeviceClass;
+use fmig_trace::{DeviceClass, FileId};
 
 /// One raw reference: (write?, file id, size, time step).
 type Spec = (bool, u64, u64, i64);
@@ -47,7 +47,7 @@ fn build_refs(specs: &[Spec]) -> Vec<PreparedRef> {
         .map(|&(write, id, size, dt)| {
             t += dt;
             PreparedRef {
-                id,
+                id: id.into(),
                 size,
                 write,
                 time: t,
@@ -56,7 +56,7 @@ fn build_refs(specs: &[Spec]) -> Vec<PreparedRef> {
             }
         })
         .collect();
-    let mut next_seen: HashMap<u64, i64> = HashMap::new();
+    let mut next_seen: HashMap<FileId, i64> = HashMap::new();
     for r in refs.iter_mut().rev() {
         r.next_use = next_seen.get(&r.id).copied();
         next_seen.insert(r.id, r.time);

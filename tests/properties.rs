@@ -143,7 +143,7 @@ proptest! {
         capacity in 500u64..5_000,
     ) {
         fn victims(policy: &dyn MigrationPolicy, ops: &[(bool, u64, u64, i64)], capacity: u64)
-            -> (Vec<u64>, u64, u64)
+            -> (Vec<fmig_trace::FileId>, u64, u64)
         {
             let mut cache = DiskCache::new(CacheConfig::with_capacity(capacity), policy);
             // Explicit, not just default: the degradation contract is
