@@ -52,12 +52,14 @@ bench-track:
 
 # The dense-identity scaling gate: the tiny sweep plus the refs/sec
 # curve across preset sizes (--scaling adds the tiny/large scaling_curve
-# array to the artifact). check_bench.py gates scaling_speedup_vs_hashed
-# — the dense-id replay's throughput over the frozen hashed baseline —
-# from the same artifact.
+# array and scaling_large_refs_per_sec to the artifact). check_bench.py
+# gates scaling_speedup_vs_hashed — the dense-id replay's throughput
+# over the frozen hashed baseline — plus the large preset's absolute
+# refs/sec floor; --require-scaling makes a missing large-preset key a
+# failure so that coverage cannot silently vanish.
 bench-scaling:
 	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --latency --scaling --out BENCH_scaling.json
-	python3 ci/check_bench.py ci/bench_baseline.json BENCH_scaling.json
+	python3 ci/check_bench.py --require-scaling ci/bench_baseline.json BENCH_scaling.json
 
 clean:
 	$(CARGO) clean

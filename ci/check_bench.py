@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate a sweep benchmark artifact against the committed baseline.
 
-Usage: check_bench.py BASELINE CURRENT [THRESHOLD]
+Usage: check_bench.py [--require-scaling] BASELINE CURRENT [THRESHOLD]
 
 Both files are `repro sweep` artifacts (or, for the baseline, a stub
 with just the cost keys). Two kinds of figures are compared:
@@ -18,20 +18,38 @@ any compared cost exceeds its baseline by more than THRESHOLD (default
 
 Higher-is-better scores — `scaling_speedup_vs_hashed` (the dense-id
 replay's refs/sec over the frozen hashed baseline replaying the same
-single-policy cell in-process; see `fmig_migrate::hashed`). Being an
-in-process ratio of two measurements it needs no calibration; the gate
-fails when it drops below its baseline divided by THRESHOLD. The
-artifact's absolute `scaling_refs_per_sec` is recorded in the baseline
-for context but not gated directly (absolute throughput shifts with
-runner generations; the speedup does not).
+single-policy cell in-process; see `fmig_migrate::hashed`) and
+`kinetic_purge_speedup` (the purge-heavy STP churn replayed through the
+kinetic tournament vs the exact rescan; see `fmig_migrate::rank`).
+Being in-process ratios of two measurements they need no calibration;
+the gate fails when one drops below its baseline divided by THRESHOLD.
+The artifact's absolute `scaling_refs_per_sec` is recorded in the
+baseline for context but not gated directly (absolute throughput shifts
+with runner generations; the speedups do not).
+
+One exception to that rule: `scaling_large_refs_per_sec` (the large
+preset's replay throughput from `repro sweep --scaling`) IS gated as an
+absolute floor, because the large preset is precisely where dense-id
+throughput collapsed before the arena-backed replay state and a silent
+regression there would not move any tiny-preset ratio. It is only
+emitted by `--scaling` runs, so it is gated when the artifact carries
+it and skipped otherwise; pass --require-scaling (the `make
+bench-scaling` path does) to turn its absence into a failure so the
+coverage cannot silently vanish.
 
 To re-baseline after an intentional change:
-    make bench-track   # writes BENCH_sweep.json
+    make bench-track     # writes BENCH_sweep.json
+    make bench-scaling   # writes BENCH_scaling.json (large-preset key)
     python3 -c "import json; a = json.load(open('BENCH_sweep.json')); \
+a.update(json.load(open('BENCH_scaling.json'))); \
 print(json.dumps({k: a[k] for k in ('normalized_cost', \
 'mrc_normalized_cost', 'latency_normalized_cost', \
-'scaling_speedup_vs_hashed') if k in a}))" \
+'scaling_speedup_vs_hashed', 'kinetic_purge_speedup', \
+'scaling_large_refs_per_sec') if k in a}))" \
 > ci/bench_baseline.json
+(Leave headroom below freshly measured speedups — the committed values
+are deliberately ~25-40% under typical measurements so runner noise
+does not trip the gate.)
 """
 
 import json
@@ -41,18 +59,25 @@ GATED_KEYS = ("normalized_cost", "mrc_normalized_cost", "latency_normalized_cost
 
 # Scores where bigger is better: gated on falling below baseline /
 # THRESHOLD instead of rising above baseline * THRESHOLD.
-GATED_MIN_KEYS = ("scaling_speedup_vs_hashed",)
+GATED_MIN_KEYS = ("scaling_speedup_vs_hashed", "kinetic_purge_speedup")
+
+# Higher-is-better scores only `--scaling` runs emit: gated when the
+# artifact carries them, skipped (or failed, under --require-scaling)
+# when it does not.
+GATED_SCALING_MIN_KEYS = ("scaling_large_refs_per_sec",)
 
 
 def main() -> int:
-    if len(sys.argv) < 3:
+    args = [a for a in sys.argv[1:] if a != "--require-scaling"]
+    require_scaling = "--require-scaling" in sys.argv[1:]
+    if len(args) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         baseline = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(args[1]) as f:
         current = json.load(f)
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+    threshold = float(args[2]) if len(args) > 2 else 1.25
 
     failed = False
     compared = 0
@@ -78,10 +103,13 @@ def main() -> int:
                 f"FAIL: {key} regressed {100 * (ratio - 1):.0f}% "
                 f"over the committed baseline (limit {100 * (threshold - 1):.0f}%)"
             )
-    for key in GATED_MIN_KEYS:
+    for key in GATED_MIN_KEYS + GATED_SCALING_MIN_KEYS:
         if key not in baseline:
             continue
         if key not in current:
+            if key in GATED_SCALING_MIN_KEYS and not require_scaling:
+                print(f"skip {key}: artifact lacks it (not a --scaling run)")
+                continue
             print(f"FAIL: baseline has {key} but the artifact does not")
             failed = True
             continue

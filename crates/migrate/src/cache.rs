@@ -59,16 +59,28 @@
 //! FIFO) and amortized `O(log n)` otherwise. Policies whose read
 //! touches never raise their key ([`MigrationPolicy::
 //! read_touch_monotone`]) skip index maintenance on the hit path
-//! entirely. Non-affine policies (STP, SAAC, salted random) keep the
-//! exact rescan, now NaN-proof via `f64::total_cmp` and
-//! `sort_unstable`. The paths produce bit-identical victim sequences;
-//! `tests/mrc_index.rs` property-tests that equivalence.
+//! entirely.
+//!
+//! Policies whose pairwise order *drifts with the clock* (STP, SAAC,
+//! salted random, the latency-aware pair) can never be keyed once, but
+//! they advertise a [`MigrationPolicy::kinetic`] closed-form curve, and
+//! the cache ranks them with a kinetic tournament
+//! (`crate::rank::KineticTournament`): each
+//! internal node caches its winner plus a certificate (the earliest
+//! instant the comparison could flip), so a purge replays only expired
+//! subtrees and each entry mutation one root-to-leaf path — amortized
+//! `O(log n)` where the pre-kinetic implementation re-ranked all `n`
+//! residents per purge. Only policies with *neither* form (or broken
+//! contracts, or a backwards clock) take the exact rescan, which stays
+//! NaN-proof via `f64::total_cmp` and `sort_unstable`. All paths
+//! produce bit-identical victim sequences; `tests/mrc_index.rs` and
+//! `tests/kinetic_index.rs` property-test that equivalence.
 
 use fmig_trace::FileId;
 use serde::{Deserialize, Serialize};
 
-use crate::policy::{FileView, MigrationPolicy};
-use crate::rank::{Candidate, Popped, RankKey, VictimRank};
+use crate::policy::{FileView, KineticForm, MigrationPolicy};
+use crate::rank::{Candidate, KineticTournament, Popped, RankKey, VictimRank};
 
 /// Configuration of the simulated disk cache.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -245,11 +257,12 @@ struct Entry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvictionMode {
     /// Keep an incremental eviction index when the policy advertises an
-    /// affine priority ([`MigrationPolicy::affine`]) *and* the resident
-    /// set is big enough for the rescan to hurt (the index activates at
-    /// the first purge that sees [`INDEX_MIN_RESIDENTS`] files — below
-    /// that, sorting a short list beats maintaining a heap). Policies
-    /// without the form fall back to the exact rescan automatically.
+    /// affine priority ([`MigrationPolicy::affine`]) or a kinetic one
+    /// ([`MigrationPolicy::kinetic`]) *and* the resident set is big
+    /// enough for the rescan to hurt (the index activates at the first
+    /// purge that sees [`INDEX_MIN_RESIDENTS`] files — below that,
+    /// sorting a short list beats maintaining a tree). Policies with
+    /// neither form fall back to the exact rescan automatically.
     #[default]
     Auto,
     /// Like `Auto` but with no resident-count gate: the index activates
@@ -299,10 +312,34 @@ enum IndexState {
     /// The policy proved affine at the activating purge; the index
     /// mirrors the resident set from here on.
     Active(EvictionIndex),
-    /// Forced ([`EvictionMode::Rescan`]), non-affine policy, or degraded
-    /// (slope drift / backwards clock): every purge does the exact
-    /// rescan. Terminal.
+    /// The policy declined `affine()` but shipped a kinetic form at the
+    /// activating purge: victims rank through a certificate-carrying
+    /// tournament tree instead of the rescan.
+    Kinetic(KineticTournament),
+    /// Forced ([`EvictionMode::Rescan`]), a policy with neither closed
+    /// form, or degraded (slope drift / backwards clock / failed
+    /// pop-time validation): every purge does the exact rescan.
+    /// Terminal.
     Rescan,
+}
+
+/// Builds the evaluation hook a [`KineticTournament`] calls to
+/// (re-)score a leaf: dense file index + time → the policy's *true*
+/// priority at that time, plus the kinetic form certifying how long a
+/// comparison against it stays settled. `None` (entry gone, or the
+/// policy refuses the form for this state) makes the tournament report
+/// failure, which the caller turns into rescan degradation.
+fn kinetic_eval<'a>(
+    policy: &'a dyn MigrationPolicy,
+    slots: &'a [Option<Entry>],
+) -> impl FnMut(u32, i64) -> Option<(f64, KineticForm)> + 'a {
+    move |fidx, at| {
+        let id = FileId::new(fidx);
+        let e = slots.get(id.index())?.as_ref()?;
+        let v = view(id, e);
+        let form = policy.kinetic(&v, at)?;
+        Some((policy.priority(&v, at), form))
+    }
 }
 
 /// A policy-driven disk cache with arena-backed per-file state.
@@ -443,6 +480,13 @@ impl<'p> DiskCache<'p> {
     /// (`Auto` mode, affine policy, at least one purge seen).
     pub fn uses_eviction_index(&self) -> bool {
         matches!(self.index, IndexState::Active(_))
+    }
+
+    /// True while the kinetic tournament is ranking victims (`Auto`
+    /// mode, a policy shipping [`MigrationPolicy::kinetic`] forms, at
+    /// least one purge seen).
+    pub fn uses_kinetic_index(&self) -> bool {
+        matches!(self.index, IndexState::Kinetic(_))
     }
 
     /// Current bytes resident.
@@ -682,9 +726,10 @@ impl<'p> DiskCache<'p> {
         self.maybe_purge(now, ops);
     }
 
-    /// Tracks clock monotonicity. The affine forms the eviction index
-    /// relies on are only guaranteed for non-decreasing reference times
-    /// (see [`MigrationPolicy::affine`]); a step backwards permanently
+    /// Tracks clock monotonicity. The affine and kinetic forms the
+    /// eviction indexes rely on are only guaranteed for non-decreasing
+    /// reference times (see [`MigrationPolicy::affine`] and
+    /// [`MigrationPolicy::kinetic`]); a step backwards permanently
     /// degrades this cache to the exact rescan, which is always correct.
     fn note_time(&mut self, now: i64) {
         if now < self.max_now {
@@ -694,30 +739,40 @@ impl<'p> DiskCache<'p> {
         }
     }
 
-    /// Pushes one resident entry's current affine key into the index;
+    /// Mirrors one resident entry's mutation into whichever index is
+    /// active — an affine key push, or a kinetic leaf upsert — and
     /// degrades to the rescan if the policy withdraws the form or
-    /// violates the shared-slope contract. `e` is the entry's state
-    /// *after* the mutation being mirrored.
+    /// violates its contract. `e` is the entry's state *after* the
+    /// mutation being mirrored; every mutation site stamps
+    /// `e.last_ref = now`, so it doubles as the evaluation time for the
+    /// kinetic leaf.
     fn index_upsert(&mut self, id: FileId, e: Entry) {
-        let IndexState::Active(idx) = &mut self.index else {
-            return;
-        };
-        match self.policy.affine(&view(id, &e)) {
-            Some(a) if a.slope.to_bits() == idx.slope_bits => {
-                idx.rank.push(RankKey {
-                    intercept: a.intercept,
-                    id: u64::from(id),
-                    payload: (),
-                });
-                // Stale keys (older keys of mutated or evicted files)
-                // are resolved at pop time; once they dominate, rebuild
-                // from the resident set so memory and pop cost stay
-                // proportional to it.
-                if idx.rank.len() > self.resident * 2 + 64 {
-                    self.index = self.build_index();
+        match &mut self.index {
+            IndexState::Active(idx) => match self.policy.affine(&view(id, &e)) {
+                Some(a) if a.slope.to_bits() == idx.slope_bits => {
+                    idx.rank.push(RankKey {
+                        intercept: a.intercept,
+                        id: u64::from(id),
+                        payload: (),
+                    });
+                    // Stale keys (older keys of mutated or evicted files)
+                    // are resolved at pop time; once they dominate, rebuild
+                    // from the resident set so memory and pop cost stay
+                    // proportional to it.
+                    if idx.rank.len() > self.resident * 2 + 64 {
+                        self.index = self.build_index(e.last_ref);
+                    }
+                }
+                _ => self.index = IndexState::Rescan,
+            },
+            IndexState::Kinetic(t) => {
+                let mut eval = kinetic_eval(self.policy, &self.slots);
+                let ok = t.upsert(id.raw(), e.last_ref, &mut eval);
+                if !ok {
+                    self.index = IndexState::Rescan;
                 }
             }
-            _ => self.index = IndexState::Rescan,
+            IndexState::Unprobed | IndexState::Rescan => {}
         }
     }
 
@@ -735,42 +790,54 @@ impl<'p> DiskCache<'p> {
         if matches!(self.index, IndexState::Unprobed)
             && (self.eager_index || self.resident >= INDEX_MIN_RESIDENTS)
         {
-            self.index = self.build_index();
+            self.index = self.build_index(now);
         }
-        if matches!(self.index, IndexState::Active(_)) {
-            self.purge_indexed(now, high, low, ops);
-        } else {
-            self.purge_rescan(now, high, low, ops);
+        match self.index {
+            IndexState::Active(_) => self.purge_indexed(now, high, low, ops),
+            IndexState::Kinetic(_) => self.purge_kinetic(now, high, low, ops),
+            _ => self.purge_rescan(now, high, low, ops),
         }
     }
 
-    /// Probes every resident file's affine form; any refusal or slope
-    /// disagreement means the exact rescan (terminal).
-    fn build_index(&self) -> IndexState {
+    /// Probes the resident set for an index: every file's affine form
+    /// first (the cheaper regime), then the kinetic form; a policy that
+    /// refuses both — or violates the shared-slope contract — means the
+    /// exact rescan (terminal).
+    fn build_index(&self, now: i64) -> IndexState {
+        if let Some(idx) = self.build_affine_index() {
+            return IndexState::Active(idx);
+        }
+        let files: Vec<u32> = self.residents().map(|(id, _)| id.raw()).collect();
+        if files.is_empty() {
+            return IndexState::Rescan;
+        }
+        let mut eval = kinetic_eval(self.policy, &self.slots);
+        match KineticTournament::build(&files, now, &mut eval) {
+            Some(t) => IndexState::Kinetic(t),
+            None => IndexState::Rescan,
+        }
+    }
+
+    /// Probes every resident file's affine form; `None` on any refusal
+    /// or slope disagreement.
+    fn build_affine_index(&self) -> Option<EvictionIndex> {
         let mut slope_bits = None;
         let mut keys = Vec::with_capacity(self.resident);
         for (id, e) in self.residents() {
-            match self.policy.affine(&view(id, e)) {
-                Some(a) => {
-                    if *slope_bits.get_or_insert(a.slope.to_bits()) != a.slope.to_bits() {
-                        return IndexState::Rescan;
-                    }
-                    keys.push(RankKey {
-                        intercept: a.intercept,
-                        id: u64::from(id),
-                        payload: (),
-                    });
-                }
-                None => return IndexState::Rescan,
+            let a = self.policy.affine(&view(id, e))?;
+            if *slope_bits.get_or_insert(a.slope.to_bits()) != a.slope.to_bits() {
+                return None;
             }
+            keys.push(RankKey {
+                intercept: a.intercept,
+                id: u64::from(id),
+                payload: (),
+            });
         }
-        match slope_bits {
-            Some(slope_bits) => IndexState::Active(EvictionIndex {
-                slope_bits,
-                rank: VictimRank::from_keys(keys),
-            }),
-            None => IndexState::Rescan,
-        }
+        slope_bits.map(|slope_bits| EvictionIndex {
+            slope_bits,
+            rank: VictimRank::from_keys(keys),
+        })
     }
 
     /// Iterates the resident entries in ascending-id (arena) order.
@@ -822,11 +889,101 @@ impl<'p> DiskCache<'p> {
                 }
             });
             match popped {
-                Popped::Victim(key) => self.evict(FileId::new(key.id as u32), high, ops),
+                Popped::Victim(key) => self.evict(FileId::new(key.id as u32), now, high, ops),
                 // Dry with residents left, or a contract violation:
                 // degrade to the always-correct rescan rather than
                 // under-purge. Unreachable for well-behaved policies.
                 Popped::Dry | Popped::Aborted => {
+                    self.index = IndexState::Rescan;
+                    self.purge_rescan(now, high, low, ops);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Certificate-driven purge: advance the tournament clock (which
+    /// replays only subtrees whose certificates expired), then
+    /// repeatedly take the root winner — the exact `(priority desc, id
+    /// asc)` maximum at `now` by construction, because internal nodes
+    /// compare *true* priorities and certificates only schedule
+    /// re-checks — and evict it. Mirrors `purge_indexed`'s pop-time
+    /// revalidation and degradation story: the cached winner score must
+    /// match the live entry bit for bit, a mismatch gets one repair
+    /// chance (a leaf re-upsert), and anything persistent aborts to the
+    /// always-correct exact rescan.
+    fn purge_kinetic(&mut self, now: i64, high: u64, low: u64, ops: &mut impl FnMut(CacheOp)) {
+        enum Step {
+            Evict(FileId),
+            Repaired,
+            Degrade,
+        }
+        // A validation mismatch means a missed leaf update — a bug, not
+        // a workload property (every mutation site upserts) — so repairs
+        // are bounded and persistent trouble degrades. The step is
+        // computed inside the match block so the tournament's `&mut` and
+        // the eval hook's slot borrow both end before the cache mutates.
+        let mut repairs = 0usize;
+        while self.usage > low {
+            let step = match &mut self.index {
+                IndexState::Kinetic(t) => {
+                    debug_assert_eq!(
+                        t.len(),
+                        self.resident,
+                        "tournament mirrors the resident set exactly"
+                    );
+                    let policy = self.policy;
+                    let slots = &self.slots;
+                    let mut eval = kinetic_eval(policy, slots);
+                    // First iteration pays the real advance; later ones
+                    // see every certificate > `now` and return at the
+                    // root. Dry with residents left (or an eval refusal)
+                    // would under-purge: degrade instead. Unreachable
+                    // for well-behaved policies.
+                    let winner = if t.advance(now, &mut eval) {
+                        t.winner()
+                    } else {
+                        None
+                    };
+                    match winner {
+                        None => Step::Degrade,
+                        Some((fidx, cached, stamp)) => {
+                            let id = FileId::new(fidx);
+                            // Pop-time revalidation by value, like the
+                            // affine index: the winner leaf's cached
+                            // score must equal the live entry's score at
+                            // the leaf's own evaluation time, bit for
+                            // bit. This also covers arena slot reuse — a
+                            // re-created file either scores identically
+                            // (then the leaf is current) or fails
+                            // validation like any stale leaf.
+                            let live = slots
+                                .get(id.index())
+                                .and_then(Option::as_ref)
+                                .map(|e| policy.priority(&view(id, e), stamp));
+                            match live {
+                                Some(p) if p.to_bits() == cached.to_bits() => Step::Evict(id),
+                                Some(_) if repairs < 32 => {
+                                    repairs += 1;
+                                    if t.upsert(fidx, now, &mut eval) {
+                                        Step::Repaired
+                                    } else {
+                                        Step::Degrade
+                                    }
+                                }
+                                _ => Step::Degrade,
+                            }
+                        }
+                    }
+                }
+                // `evict` degraded mid-purge (a leaf removal's path
+                // repair failed); finish this purge on the exact path.
+                _ => Step::Degrade,
+            };
+            match step {
+                Step::Evict(id) => self.evict(id, now, high, ops),
+                Step::Repaired => {}
+                Step::Degrade => {
                     self.index = IndexState::Rescan;
                     self.purge_rescan(now, high, low, ops);
                     return;
@@ -858,14 +1015,27 @@ impl<'p> DiskCache<'p> {
             if self.usage <= low {
                 break;
             }
-            self.evict(id, high, ops);
+            self.evict(id, now, high, ops);
         }
         // Hand the allocation back for the next purge.
         self.scratch = ranked;
     }
 
-    /// Shared eviction bookkeeping for both purge paths.
-    fn evict(&mut self, id: FileId, high: u64, ops: &mut impl FnMut(CacheOp)) {
+    /// Shared eviction bookkeeping for all purge paths.
+    fn evict(&mut self, id: FileId, now: i64, high: u64, ops: &mut impl FnMut(CacheOp)) {
+        // The kinetic tournament mirrors the resident set exactly (no
+        // lazy stale keys), so the victim's leaf comes out here; the
+        // affine rank's stale keys deflate at pop time instead.
+        let degrade = match &mut self.index {
+            IndexState::Kinetic(t) => {
+                let mut eval = kinetic_eval(self.policy, &self.slots);
+                !t.remove(id.raw(), now, &mut eval)
+            }
+            _ => false,
+        };
+        if degrade {
+            self.index = IndexState::Rescan;
+        }
         // Victims chosen while still above the high watermark free
         // space the triggering reference needs *now*: a dirty flush
         // there is a stall. Once back under the high mark the rest
@@ -898,6 +1068,7 @@ impl core::fmt::Debug for DiskCache<'_> {
             .field("usage", &self.usage)
             .field("files", &self.resident)
             .field("indexed", &self.uses_eviction_index())
+            .field("kinetic", &self.uses_kinetic_index())
             .finish()
     }
 }
@@ -1317,7 +1488,7 @@ mod tests {
     }
 
     #[test]
-    fn non_affine_policies_stay_on_the_exact_rescan() {
+    fn time_varying_policies_rank_through_the_kinetic_tournament() {
         let stp = Stp::classic();
         assert_modes_agree(&stp, &churny_sequence());
         let mut c = DiskCache::with_eviction_mode(cfg(1000), &stp, EvictionMode::Indexed);
@@ -1325,7 +1496,73 @@ mod tests {
             c.write(i, 100, i as i64, None);
         }
         assert!(c.stats().evictions > 0);
-        assert!(!c.uses_eviction_index());
+        assert!(!c.uses_eviction_index(), "STP has no affine form");
+        assert!(c.uses_kinetic_index(), "STP ships a kinetic form");
+    }
+
+    #[test]
+    fn kinetic_policies_match_the_rescan_oracle() {
+        use crate::policy::{RandomEvict, Saac, StpLat};
+        // Crossing-heavy churn with day-scale gaps: a jump every 13 ops
+        // carries the replay across RandomEvict reshuffle boundaries and
+        // STP crossings, so tournament certificates actually expire
+        // mid-run. The offset is non-decreasing in `i`, so the clock
+        // stays monotone.
+        let mut seq = churny_sequence();
+        for (i, op) in seq.iter_mut().enumerate() {
+            op.3 += 86_400 * (i as i64 / 13);
+        }
+        assert_modes_agree(&Stp::classic(), &seq);
+        assert_modes_agree(&Stp { exponent: 1.0 }, &seq);
+        assert_modes_agree(&Stp { exponent: 2.0 }, &seq);
+        assert_modes_agree(&Saac, &seq);
+        assert_modes_agree(&RandomEvict { salt: 7 }, &seq);
+        assert_modes_agree(&StpLat::classic(), &seq);
+    }
+
+    #[test]
+    fn kinetic_index_survives_eviction_and_reinsertion() {
+        // Drive a kinetic-indexed cache through purge → re-create cycles
+        // (arena slot reuse) and check it still matches the rescan.
+        let stp = Stp::classic();
+        let seq: Vec<(bool, u64, u64, i64)> = (0..240)
+            .map(|i| {
+                let id = (i * 11 + i / 7) % 9; // small universe: heavy reuse
+                ((i % 2) == 0, id, 150 + (i % 5) * 80, (i * 37) as i64)
+            })
+            .collect();
+        assert_modes_agree(&stp, &seq);
+        let mut c = DiskCache::with_eviction_mode(cfg(1000), &stp, EvictionMode::Indexed);
+        for &(write, id, size, now) in &seq {
+            if write {
+                c.write(id, size, now, None);
+            } else {
+                c.read(id, size, now, None);
+            }
+        }
+        assert!(c.uses_kinetic_index(), "kinetic index survives churn");
+        assert!((0..9).any(|i| c.slot_epoch(i) > 1), "slots were recycled");
+    }
+
+    #[test]
+    fn backwards_clock_degrades_the_kinetic_index() {
+        let stp = Stp::classic();
+        let mut c = DiskCache::with_eviction_mode(cfg(1000), &stp, EvictionMode::Indexed);
+        for i in 0..10 {
+            c.write(i, 100, 100 + i as i64, None);
+        }
+        assert!(c.uses_kinetic_index());
+        // The kinetic contract assumes a monotone clock; a step
+        // backwards drops the tournament for good.
+        c.write(50, 100, 5, None);
+        assert!(!c.uses_kinetic_index());
+        for i in 60..70 {
+            c.write(i, 100, 200 + i as i64, None);
+        }
+        assert!(!c.uses_kinetic_index(), "degradation is terminal");
+        let mut seq = churny_sequence();
+        seq[80].3 = 0;
+        assert_modes_agree(&stp, &seq);
     }
 
     #[test]

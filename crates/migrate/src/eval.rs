@@ -6,6 +6,13 @@
 //! person-minutes cost. A reversed pre-pass computes every reference's
 //! next-use time so Belady's clairvoyant bound runs as an ordinary
 //! policy. Policies are evaluated on worker threads (one per policy).
+//!
+//! Replay cost per reference is sub-linear in the resident set for
+//! every shipped policy: affine policies rank through the incremental
+//! eviction index, time-varying ones (STP/SAAC/RandomEvict and the
+//! latency-aware pair) through the kinetic tournament, and only the
+//! explicit [`crate::cache::EvictionMode::Rescan`] oracle mode — or a
+//! degraded index — pays the O(n) purge rescan.
 
 use fmig_trace::time::TRACE_DAYS;
 use fmig_trace::{DeviceClass, Direction, FileId, FileTable, TraceRecord};

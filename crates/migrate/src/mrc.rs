@@ -42,6 +42,12 @@
 //!   index with the same adaptive machinery as [`DiskCache`] (monotone
 //!   queue / lazy heap, resident-count gate
 //!   [`crate::cache::INDEX_MIN_RESIDENTS`]).
+//! * **Kinetic** ([`MigrationPolicy::kinetic`], STP/SAAC/RandomEvict
+//!   and the latency-aware pair): a per-capacity kinetic tournament
+//!   (`crate::rank::KineticTournament`) whose certificates schedule the
+//!   only re-comparisons a clock advance needs, so each stack pays
+//!   amortized `O(log n)` per purge instead of re-ranking all residents
+//!   at every capacity.
 //! * **Everything else**: the exact `total_cmp` rescan.
 //!
 //! The result is **bit-identical** to replaying the trace once per
@@ -58,8 +64,8 @@ use fmig_trace::FileId;
 
 use crate::cache::{CacheConfig, CacheStats, DiskCache, EvictionMode, INDEX_MIN_RESIDENTS};
 use crate::eval::{EvalConfig, PolicyOutcome, PreparedRef};
-use crate::policy::{FileView, MigrationPolicy};
-use crate::rank::{Candidate, Popped, RankKey, VictimRank};
+use crate::policy::{FileView, KineticForm, MigrationPolicy};
+use crate::rank::{Candidate, KineticTournament, Popped, RankKey, VictimRank};
 
 /// One point of a miss-ratio curve: a capacity and the full cache
 /// counters measured there.
@@ -177,7 +183,36 @@ enum RankMode {
         slope_bits: u64,
         rank: VictimRank<u32>,
     },
+    /// The policy declined `affine()` but ships a kinetic form: this
+    /// capacity's victims rank through a certificate-carrying tournament
+    /// over its resident set, as in `DiskCache`.
+    Kinetic(KineticTournament),
     Rescan,
+}
+
+/// The evaluation hook one stack's [`KineticTournament`] calls to
+/// (re-)score a leaf, mirroring `cache::kinetic_eval` over this
+/// engine's split (global, per-capacity) file state. `None` (not
+/// resident in this capacity, or the policy refuses the form) degrades
+/// the stack to the rescan.
+fn stack_kinetic_eval<'a>(
+    policy: &'a dyn MigrationPolicy,
+    globals: &'a [GlobalState],
+    subs: &'a [SubState],
+    grid: usize,
+    ci: usize,
+    est: f64,
+) -> impl FnMut(u32, i64) -> Option<(f64, KineticForm)> + 'a {
+    move |fidx, at| {
+        let sub = subs.get(fidx as usize * grid + ci)?;
+        if !sub.resident {
+            return None;
+        }
+        let g = globals.get(fidx as usize)?;
+        let v = sub_view(fidx, g, sub, est);
+        let form = policy.kinetic(&v, at)?;
+        Some((policy.priority(&v, at), form))
+    }
 }
 
 /// One capacity's priority stack: watermarks, usage, counters, resident
@@ -283,41 +318,61 @@ impl Stack {
         }
     }
 
-    /// Mirrors a touched/inserted resident's current affine key into the
-    /// index, exactly like `DiskCache::index_upsert`. Returns `true`
-    /// when stale elements dominate and the caller should rebuild the
+    /// Mirrors a touched/inserted resident's mutation into whichever
+    /// index this stack runs — an affine key push or a kinetic leaf
+    /// upsert — exactly like `DiskCache::index_upsert`. Returns `true`
+    /// when stale affine keys dominate and the caller should rebuild the
     /// heap from the resident set (the caller holds the file table the
-    /// rebuild needs).
+    /// rebuild needs); the kinetic tournament mirrors exactly and never
+    /// asks for a rebuild.
     #[must_use]
+    #[expect(clippy::too_many_arguments)]
     fn index_upsert(
         &mut self,
         policy: &dyn MigrationPolicy,
         fidx: u32,
-        g: &GlobalState,
-        sub: &SubState,
+        globals: &[GlobalState],
+        subs: &[SubState],
+        grid: usize,
+        ci: usize,
+        now: i64,
         est: f64,
     ) -> bool {
-        let RankMode::Active { slope_bits, rank } = &mut self.rank else {
-            return false;
-        };
-        match policy.affine(&sub_view(fidx, g, sub, est)) {
-            Some(a) if a.slope.to_bits() == *slope_bits => {
-                rank.push(RankKey {
-                    intercept: a.intercept,
-                    id: u64::from(fidx),
-                    payload: fidx,
-                });
-                rank.len() > self.residents.len() * 2 + 64
+        match &mut self.rank {
+            RankMode::Active { slope_bits, rank } => {
+                let g = &globals[fidx as usize];
+                let sub = &subs[fidx as usize * grid + ci];
+                match policy.affine(&sub_view(fidx, g, sub, est)) {
+                    Some(a) if a.slope.to_bits() == *slope_bits => {
+                        rank.push(RankKey {
+                            intercept: a.intercept,
+                            id: u64::from(fidx),
+                            payload: fidx,
+                        });
+                        rank.len() > self.residents.len() * 2 + 64
+                    }
+                    _ => {
+                        self.rank = RankMode::Rescan;
+                        false
+                    }
+                }
             }
-            _ => {
-                self.rank = RankMode::Rescan;
+            RankMode::Kinetic(t) => {
+                let mut eval = stack_kinetic_eval(policy, globals, subs, grid, ci, est);
+                let ok = t.upsert(fidx, now, &mut eval);
+                if !ok {
+                    self.rank = RankMode::Rescan;
+                }
                 false
             }
+            RankMode::Unprobed | RankMode::Rescan => false,
         }
     }
 
-    /// Probes every resident's affine form and builds the index, or
-    /// settles on the rescan; `DiskCache::build_index` for one stack.
+    /// Probes the resident set for an index — every file's affine form
+    /// first, then the kinetic form — or settles on the rescan;
+    /// `DiskCache::build_index` for one stack.
+    #[expect(clippy::too_many_arguments)]
     fn build_index(
         &self,
         policy: &dyn MigrationPolicy,
@@ -325,35 +380,53 @@ impl Stack {
         subs: &[SubState],
         grid: usize,
         ci: usize,
+        now: i64,
         est: f64,
     ) -> RankMode {
+        if let Some(mode) = self.build_affine_index(policy, globals, subs, grid, ci, est) {
+            return mode;
+        }
+        if self.residents.is_empty() {
+            return RankMode::Rescan;
+        }
+        let mut eval = stack_kinetic_eval(policy, globals, subs, grid, ci, est);
+        match KineticTournament::build(&self.residents, now, &mut eval) {
+            Some(t) => RankMode::Kinetic(t),
+            None => RankMode::Rescan,
+        }
+    }
+
+    /// Probes every resident's affine form; `None` on any refusal or
+    /// slope disagreement.
+    fn build_affine_index(
+        &self,
+        policy: &dyn MigrationPolicy,
+        globals: &[GlobalState],
+        subs: &[SubState],
+        grid: usize,
+        ci: usize,
+        est: f64,
+    ) -> Option<RankMode> {
         let mut slope_bits = None;
         let mut keys = Vec::with_capacity(self.residents.len());
         for &fidx in &self.residents {
             let g = &globals[fidx as usize];
             let sub = &subs[fidx as usize * grid + ci];
-            match policy.affine(&sub_view(fidx, g, sub, est)) {
-                Some(a) => {
-                    let bits = a.slope.to_bits();
-                    if *slope_bits.get_or_insert(bits) != bits {
-                        return RankMode::Rescan;
-                    }
-                    keys.push(RankKey {
-                        intercept: a.intercept,
-                        id: u64::from(fidx),
-                        payload: fidx,
-                    });
-                }
-                None => return RankMode::Rescan,
+            let a = policy.affine(&sub_view(fidx, g, sub, est))?;
+            let bits = a.slope.to_bits();
+            if *slope_bits.get_or_insert(bits) != bits {
+                return None;
             }
+            keys.push(RankKey {
+                intercept: a.intercept,
+                id: u64::from(fidx),
+                payload: fidx,
+            });
         }
-        match slope_bits {
-            Some(slope_bits) => RankMode::Active {
-                slope_bits,
-                rank: VictimRank::from_keys(keys),
-            },
-            None => RankMode::Rescan,
-        }
+        slope_bits.map(|slope_bits| RankMode::Active {
+            slope_bits,
+            rank: VictimRank::from_keys(keys),
+        })
     }
 
     /// Inserts `fidx` (not currently resident) with the given state.
@@ -408,7 +481,7 @@ impl Stack {
             return;
         }
         if matches!(self.rank, RankMode::Unprobed) && self.residents.len() >= INDEX_MIN_RESIDENTS {
-            self.rank = self.build_index(policy, globals, subs, grid, ci, est);
+            self.rank = self.build_index(policy, globals, subs, grid, ci, now, est);
         }
         if matches!(self.rank, RankMode::Active { .. }) {
             while self.usage > self.low {
@@ -449,6 +522,91 @@ impl Stack {
                 return;
             }
             // Fell through: the index degraded mid-purge.
+        }
+        if matches!(self.rank, RankMode::Kinetic(_)) {
+            // `DiskCache::purge_kinetic` for one stack: advance the
+            // tournament clock, take the root winner (the exact
+            // `(priority desc, id asc)` maximum — internal nodes compare
+            // true priorities; certificates only schedule re-checks),
+            // revalidate it by value, and evict. A validation mismatch
+            // means a missed leaf update, so repairs are bounded and
+            // persistent trouble degrades to the rescan below. The step
+            // is computed inside the match so the tournament's `&mut`
+            // and the eval hook's borrows end before the stack mutates.
+            enum Step {
+                Evict(u32),
+                Repaired,
+                Degrade,
+            }
+            let mut repairs = 0usize;
+            while self.usage > self.low {
+                let step = match &mut self.rank {
+                    RankMode::Kinetic(t) => {
+                        let mut eval = stack_kinetic_eval(policy, globals, subs, grid, ci, est);
+                        let winner = if t.advance(now, &mut eval) {
+                            t.winner()
+                        } else {
+                            None
+                        };
+                        match winner {
+                            None => Step::Degrade,
+                            Some((fidx, cached, stamp)) => {
+                                // Pop-time revalidation by value: the
+                                // winner leaf's cached score must equal
+                                // the live resident's score at the
+                                // leaf's own evaluation time, bit for
+                                // bit.
+                                let sub = &subs[fidx as usize * grid + ci];
+                                let live = sub.resident.then(|| {
+                                    let g = &globals[fidx as usize];
+                                    policy.priority(&sub_view(fidx, g, sub, est), stamp)
+                                });
+                                match live {
+                                    Some(p) if p.to_bits() == cached.to_bits() => Step::Evict(fidx),
+                                    Some(_) if repairs < 32 => {
+                                        repairs += 1;
+                                        if t.upsert(fidx, now, &mut eval) {
+                                            Step::Repaired
+                                        } else {
+                                            Step::Degrade
+                                        }
+                                    }
+                                    _ => Step::Degrade,
+                                }
+                            }
+                        }
+                    }
+                    _ => Step::Degrade,
+                };
+                match step {
+                    Step::Evict(fidx) => {
+                        self.evict(fidx, subs, grid, ci);
+                        // Unlike the affine rank's lazy stale keys, the
+                        // tournament mirrors the resident set exactly:
+                        // the victim's leaf comes out now.
+                        let removed = match &mut self.rank {
+                            RankMode::Kinetic(t) => {
+                                let mut eval =
+                                    stack_kinetic_eval(policy, globals, subs, grid, ci, est);
+                                t.remove(fidx, now, &mut eval)
+                            }
+                            _ => true,
+                        };
+                        if !removed {
+                            self.rank = RankMode::Rescan;
+                        }
+                    }
+                    Step::Repaired => {}
+                    Step::Degrade => {
+                        self.rank = RankMode::Rescan;
+                        break;
+                    }
+                }
+            }
+            if self.usage <= self.low {
+                return;
+            }
+            // Fell through: the tournament degraded mid-purge.
         }
         // Exact rescan: rank every resident at `now`, highest priority
         // first, id-ascending tie-break — identical to
@@ -583,11 +741,11 @@ pub fn sweep_capacities(
                 stack.stats.read_hits += 1;
                 stack.stats.read_hit_bytes += sub.size;
                 sub.ref_count += 1;
-                if !skip_read_touch && !recency {
-                    let snapshot = *sub;
-                    if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot, est) {
-                        stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, est);
-                    }
+                if !skip_read_touch
+                    && !recency
+                    && stack.index_upsert(policy, fidx, &globals, &subs, grid, ci, r.time, est)
+                {
+                    stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, r.time, est);
                 }
                 continue;
             } else {
@@ -613,9 +771,8 @@ pub fn sweep_capacities(
                 stack.maybe_purge_recency(&log, &globals, &mut subs, grid, ci);
                 continue;
             }
-            let snapshot = *sub;
-            if stack.index_upsert(policy, fidx, &globals[fidx as usize], &snapshot, est) {
-                stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, est);
+            if stack.index_upsert(policy, fidx, &globals, &subs, grid, ci, r.time, est) {
+                stack.rank = stack.build_index(policy, &globals, &subs, grid, ci, r.time, est);
             }
             stack.maybe_purge(policy, &globals, &mut subs, grid, ci, r.time, est);
         }

@@ -30,7 +30,8 @@
 //! evicts highest-priority files first.
 //!
 //! The full contract family — `priority`, the `affine` exactness
-//! contract, `read_touch_monotone`, `recency_keyed`, `latency_aware` —
+//! contract, the `kinetic` time-varying form behind the tournament
+//! index, `read_touch_monotone`, `recency_keyed`, `latency_aware` —
 //! is documented in `docs/policy-contract.md`.
 
 use fmig_trace::FileId;
@@ -86,6 +87,330 @@ pub struct AffinePriority {
     pub intercept: f64,
 }
 
+/// Relative safety margin for kinetic certificates.
+///
+/// Pairs whose closed-form priority curves come within this *relative*
+/// distance of each other are re-checked every step instead of trusted.
+/// Evaluated `f64` priorities track the real-valued curve models to
+/// roughly 1e-13 relative error (a handful of roundings plus one
+/// `powf`), so a 1e-9 margin leaves about four orders of magnitude of
+/// slack: a certificate may expire *early* (costing one extra
+/// comparison), never *late* (which would corrupt the victim order).
+const KINETIC_MARGIN: f64 = 1e-9;
+
+/// A *kinetic* description of a file's eviction priority: a closed-form
+/// curve in the purge time `now` that stays faithful to
+/// [`MigrationPolicy::priority`] until the entry's next mutation.
+///
+/// Unlike [`AffinePriority`], a kinetic form is **never used to compare
+/// two files** — the kinetic tournament always compares the true
+/// `priority` values, so victim order is bit-identical to the rescan by
+/// construction. The form's only job is *scheduling*: given two curves
+/// and their current values, [`certify_order`] computes how long the
+/// current comparison outcome is guaranteed to hold, so the tournament
+/// re-checks a pair only when its certificate expires. A conservative
+/// form costs speed, never exactness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KineticForm {
+    /// `priority(t) = slope·t + intercept`, with a **per-file** slope
+    /// (what [`AffinePriority`]'s shared-slope contract forbids).
+    /// SAAC is the shipped example: `age·size/(1+refs)` has slope
+    /// `size/(1+refs)`.
+    Affine {
+        /// Coefficient on `t`.
+        slope: f64,
+        /// Constant term.
+        intercept: f64,
+    },
+    /// `priority(t) = coeff·(t − anchor)^exponent` for `t ≥ anchor`.
+    /// STP is the shipped example: `coeff = size`, `anchor = last_ref`.
+    PowerAge {
+        /// Multiplier on the aged term (must be ≥ 0).
+        coeff: f64,
+        /// Time the age is measured from (≤ every future purge time).
+        anchor: i64,
+        /// Exponent on the age (must be > 0, shared per policy instance).
+        exponent: f64,
+    },
+    /// `priority(t) = coeff·(t − anchor)^exponent
+    ///              / (base + decay / max(t − created, 1))`
+    /// — a power-age numerator over a denominator that *decreases*
+    /// toward `base ≥ 1` as the tenure grows. STP-lat and LRU-MAD fit:
+    /// their `1 + w·aggregate_delay` denominator is
+    /// `1 + w·est + w·est²·refs/tenure` between touches.
+    PowerAgeLat {
+        /// Multiplier on the aged term (must be ≥ 0).
+        coeff: f64,
+        /// Time the age is measured from.
+        anchor: i64,
+        /// Exponent on the age (must be > 0).
+        exponent: f64,
+        /// Asymptotic denominator (must be ≥ 1).
+        base: f64,
+        /// Numerator of the vanishing denominator term (must be ≥ 0).
+        decay: f64,
+        /// Time the tenure is measured from.
+        created: i64,
+    },
+    /// Constant until `until` (exclusive), then free to jump
+    /// arbitrarily. RandomEvict is the shipped example: its salted hash
+    /// is keyed on the `now / 86 400` day bucket, so the order is
+    /// frozen inside a day and reshuffles at the boundary.
+    PiecewiseConstant {
+        /// First instant at which the value may change.
+        until: i64,
+    },
+}
+
+impl KineticForm {
+    /// Bitwise parameter equality — identical bits mean the two files'
+    /// priority *evaluations* are identical at every future time, so
+    /// the ascending-id tie-break decides their order forever.
+    ///
+    /// Deliberately false for [`KineticForm::PiecewiseConstant`] (the
+    /// form carries no value, so equal epochs say nothing about equal
+    /// priorities) and across variants.
+    fn same_bits(&self, other: &KineticForm) -> bool {
+        use KineticForm::*;
+        match (self, other) {
+            (
+                Affine {
+                    slope: a,
+                    intercept: b,
+                },
+                Affine {
+                    slope: c,
+                    intercept: d,
+                },
+            ) => a.to_bits() == c.to_bits() && b.to_bits() == d.to_bits(),
+            (
+                PowerAge {
+                    coeff: a,
+                    anchor: b,
+                    exponent: c,
+                },
+                PowerAge {
+                    coeff: d,
+                    anchor: e,
+                    exponent: f,
+                },
+            ) => a.to_bits() == d.to_bits() && b == e && c.to_bits() == f.to_bits(),
+            (
+                PowerAgeLat {
+                    coeff: a,
+                    anchor: b,
+                    exponent: c,
+                    base: d,
+                    decay: e,
+                    created: f,
+                },
+                PowerAgeLat {
+                    coeff: g,
+                    anchor: h,
+                    exponent: i,
+                    base: j,
+                    decay: k,
+                    created: l,
+                },
+            ) => {
+                a.to_bits() == g.to_bits()
+                    && b == h
+                    && c.to_bits() == i.to_bits()
+                    && d.to_bits() == j.to_bits()
+                    && e.to_bits() == k.to_bits()
+                    && f == l
+            }
+            _ => false,
+        }
+    }
+}
+
+/// First re-check instant when the pair is safe through `now + dt`
+/// inclusive (real-valued `dt ≥ 0`).
+fn expiry_after(now: i64, dt: f64) -> i64 {
+    if dt.is_nan() {
+        return now + 1;
+    }
+    let t = now as f64 + dt;
+    if t >= i64::MAX as f64 {
+        return i64::MAX;
+    }
+    (t.floor() as i64)
+        .saturating_add(1)
+        .max(now.saturating_add(1))
+}
+
+/// First re-check instant when the pair is safe strictly *before*
+/// `t_cross`.
+fn expiry_before(now: i64, t_cross: f64) -> i64 {
+    if t_cross.is_nan() {
+        return now + 1;
+    }
+    if t_cross >= i64::MAX as f64 {
+        return i64::MAX;
+    }
+    (t_cross.ceil() as i64).max(now.saturating_add(1))
+}
+
+/// Certify how long `winner ≥ loser` (priority descending, ties by
+/// ascending id — the rescan order) is guaranteed to keep holding.
+///
+/// `winner_value`/`loser_value` are the *evaluated*
+/// [`MigrationPolicy::priority`] values at `now` (the exact `f64`s the
+/// rescan would sort by), and the forms are the matching
+/// [`MigrationPolicy::kinetic`] curves. Returns the earliest instant
+/// `E > now` at which the comparison outcome could change: for every
+/// integer evaluation time `t` with `now ≤ t < E`, re-evaluating both
+/// priorities at `t` yields the same `total_cmp`-plus-id ordering.
+///
+/// Soundness is the load-bearing property — a certificate must never
+/// outlive a possible order flip, while expiring early merely costs one
+/// re-comparison. The solver therefore brackets every closed form with
+/// the `KINETIC_MARGIN` relative fuzz (covering the ~1e-13 gap
+/// between the real-valued curve model and its `f64` evaluation) and
+/// answers `now + 1` whenever a pair's curves are too close, too weird
+/// (NaN/∞), or of mixed variants.
+///
+/// The shipped closed forms:
+///
+/// * **Affine × Affine** — the value gap shrinks at most at rate
+///   `max(loser_slope − winner_slope, 0)` while the evaluation fuzz
+///   grows at most at rate `margin·max(|slope|)`; solve the linear
+///   inequality for the last safe `Δt`.
+/// * **PowerAge × PowerAge** (shared exponent `e`) — the loser/winner
+///   ratio `(c_l/c_w)·((t−a_l)/(t−a_w))^e` is monotone in `t`, so it
+///   crosses the `1 − margin` threshold at most once, at
+///   `t = (a_l − k·a_w)/(1 − k)` with
+///   `k = ((1−margin)·c_w/c_l)^(1/e)` — the ISSUE's closed-form
+///   crossing time with the margin folded into `k`. A ratio limit
+///   `c_l/c_w ≤ 1 − margin` can never reach the threshold: certificate
+///   `i64::MAX`.
+/// * **PowerAgeLat × PowerAgeLat** — both curves are non-decreasing
+///   (numerator grows, denominator shrinks), so a flip needs the loser
+///   to reach the winner's *current* value; bound the loser by its
+///   envelope `c·(t−a)^e / base` and solve for the threshold time.
+/// * **PiecewiseConstant × PiecewiseConstant** — both values are frozen
+///   until the earlier `until`; exact, no margin.
+// Negated comparisons are deliberate throughout: `!(x > 0.0)` is true
+// for NaN where `x <= 0.0` is not, and every NaN must land in the
+// conservative `now + 1` branch.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn certify_order(
+    winner: &KineticForm,
+    winner_value: f64,
+    loser: &KineticForm,
+    loser_value: f64,
+    now: i64,
+) -> i64 {
+    use KineticForm::*;
+    // Identical parameter bits ⇒ identical evaluations at every future
+    // time ⇒ the ascending-id tie-break decides forever.
+    if winner.same_bits(loser) {
+        return i64::MAX;
+    }
+    // Epoch-frozen pairs are exact: no fuzz, no near-tie handling.
+    if let (PiecewiseConstant { until: uw }, PiecewiseConstant { until: ul }) = (winner, loser) {
+        return (*uw).min(*ul).max(now.saturating_add(1));
+    }
+    // Near-tie (or NaN/∞): within the fuzz where rounding could already
+    // flip the comparison — re-check at every step.
+    let d = winner_value - loser_value;
+    let mag = winner_value.abs().max(loser_value.abs());
+    if !d.is_finite() || !(d > KINETIC_MARGIN * mag) {
+        return now + 1;
+    }
+    match (winner, loser) {
+        (Affine { slope: mw, .. }, Affine { slope: ml, .. }) => {
+            let gain = (ml - mw).max(0.0);
+            let mmax = mw.abs().max(ml.abs());
+            let denom = gain + KINETIC_MARGIN * mmax;
+            if denom.is_nan() {
+                return now + 1;
+            }
+            if denom == 0.0 {
+                // Two constants, separated beyond the fuzz: safe forever.
+                return i64::MAX;
+            }
+            // Safe while d − gain·Δt > margin·(mag + mmax·Δt).
+            expiry_after(now, (d - KINETIC_MARGIN * mag) / denom)
+        }
+        (
+            PowerAge {
+                coeff: cw,
+                anchor: aw,
+                exponent: ew,
+            },
+            PowerAge {
+                coeff: cl,
+                anchor: al,
+                exponent: el,
+            },
+        ) => {
+            if ew.to_bits() != el.to_bits() || !(*ew > 0.0) || !(*cw > 0.0) || !(*cl >= 0.0) {
+                return now + 1;
+            }
+            if *cl == 0.0 {
+                // Loser is identically zero; the winner's curve is
+                // non-decreasing and already above the fuzz.
+                return i64::MAX;
+            }
+            let r_inf = cl / cw;
+            if r_inf <= 1.0 - KINETIC_MARGIN {
+                // The loser/winner ratio is monotone with limit r_inf
+                // and is below the threshold at `now` (the near-tie
+                // check); it can never reach 1 − margin.
+                return i64::MAX;
+            }
+            // Age-ratio at the margin threshold; r_inf > 1 − margin
+            // keeps k strictly below 1.
+            let k = ((1.0 - KINETIC_MARGIN) / r_inf).powf(1.0 / ew);
+            let t_cross = (*al as f64 - k * *aw as f64) / (1.0 - k);
+            expiry_before(now, t_cross)
+        }
+        (
+            PowerAgeLat {
+                coeff: cw,
+                exponent: ew,
+                base: bw,
+                decay: dw,
+                ..
+            },
+            PowerAgeLat {
+                coeff: cl,
+                anchor: al,
+                exponent: el,
+                base: bl,
+                decay: dl,
+                ..
+            },
+        ) => {
+            let sane = *cw >= 0.0
+                && *cl >= 0.0
+                && *ew > 0.0
+                && *el > 0.0
+                && *bw >= 1.0
+                && *bl >= 1.0
+                && *dw >= 0.0
+                && *dl >= 0.0;
+            if !sane {
+                return now + 1;
+            }
+            if *cl == 0.0 {
+                return i64::MAX;
+            }
+            // The winner never falls below winner_value; the loser never
+            // exceeds its envelope c_l·(t−a_l)^e / b_l. Solve
+            // envelope(t) = (1 − margin)·winner_value.
+            let t_cross =
+                *al as f64 + ((bl * (1.0 - KINETIC_MARGIN) * winner_value) / cl).powf(1.0 / el);
+            expiry_before(now, t_cross)
+        }
+        // Mixed variants: sound, never fast. Shipped policies emit one
+        // variant per instance, so this only guards hypothetical mixes.
+        _ => now + 1,
+    }
+}
+
 /// An eviction policy: higher [`MigrationPolicy::priority`] leaves first.
 pub trait MigrationPolicy: Send + Sync {
     /// Short display name ("STP(1.4)", "LRU", ...).
@@ -136,6 +461,42 @@ pub trait MigrationPolicy: Send + Sync {
     /// exact sort-based rescan, and the victim sequence is identical
     /// either way.
     fn affine(&self, _file: &FileView) -> Option<AffinePriority> {
+        None
+    }
+
+    /// The priority as a *kinetic* (time-varying) closed form of `now`,
+    /// when the policy has one — the hook behind the cache's kinetic
+    /// tournament index, consulted only when [`MigrationPolicy::affine`]
+    /// returns `None`.
+    ///
+    /// # Contract
+    ///
+    /// Returning `Some` promises, for this exact `file` state at query
+    /// time `now`:
+    ///
+    /// 1. **Faithful curve.** For every purge time `t ≥ now` until the
+    ///    entry's next mutation, `priority(file, t)` equals the form's
+    ///    curve to within ~1e-13 relative error (the slack
+    ///    [`certify_order`]'s margin absorbs) — and exactly for
+    ///    [`KineticForm::PiecewiseConstant`], whose value must be
+    ///    bit-frozen for `t < until`.
+    /// 2. **Shape invariants.** The variant's parameter bounds hold
+    ///    (`coeff ≥ 0`, `exponent > 0`, `base ≥ 1`, `decay ≥ 0`); the
+    ///    solver's single-crossing and monotone-envelope arguments rely
+    ///    on them. Parameterizations that break them (e.g. a negative
+    ///    `delay_weight`) must return `None`.
+    /// 3. **Homogeneous variant.** One policy instance always answers
+    ///    with the same [`KineticForm`] variant; mixed pairs degrade to
+    ///    per-step certificates (correct but slow).
+    /// 4. **Monotone clocks**, exactly as [`MigrationPolicy::affine`]'s
+    ///    clause 3.
+    ///
+    /// Unlike the affine hook, comparisons never go *through* the form:
+    /// the tournament compares true `priority` values, so the victim
+    /// sequence is bit-identical to the rescan by construction, and the
+    /// form's only job is scheduling re-checks. Policies with neither an
+    /// affine nor a kinetic form replay through the exact rescan.
+    fn kinetic(&self, _file: &FileView, _now: i64) -> Option<KineticForm> {
         None
     }
 
@@ -238,7 +599,20 @@ impl MigrationPolicy for Stp {
     // No affine form: even at exponent 1.0 the priority is
     // `size·now − size·last_ref`, a *per-file* slope, so pairwise order
     // drifts with time (a small old file overtakes a large fresh one).
-    // STP replays through the exact rescan.
+
+    fn kinetic(&self, file: &FileView, _now: i64) -> Option<KineticForm> {
+        // `age^e · size` is exactly the PowerAge curve: for any two
+        // files it crosses its rival at most once (monotone age ratio),
+        // which is what lets the tournament certify pairs ahead of time.
+        if !self.exponent.is_finite() || self.exponent <= 0.0 {
+            return None;
+        }
+        Some(KineticForm::PowerAge {
+            coeff: file.size as f64,
+            anchor: file.last_ref,
+            exponent: self.exponent,
+        })
+    }
 }
 
 /// Least-recently-used.
@@ -363,9 +737,28 @@ impl MigrationPolicy for Saac {
         let age = (now - file.last_ref).max(0) as f64;
         age * file.size as f64 / (1.0 + file.ref_count as f64)
     }
+
+    // No affine form: `size/(1+refs)` is a per-file slope, violating
+    // the shared-slope contract — but that makes SAAC *per-file affine*,
+    // exactly what the kinetic Affine variant describes.
+    fn kinetic(&self, file: &FileView, _now: i64) -> Option<KineticForm> {
+        let slope = file.size as f64 / (1.0 + file.ref_count as f64);
+        Some(KineticForm::Affine {
+            slope,
+            intercept: -(file.last_ref as f64) * slope,
+        })
+    }
 }
 
 /// Uniformly random eviction (seeded, deterministic per file).
+///
+/// **Reshuffle period: one day (86 400 s).** The priority hashes
+/// `(id, salt, now / 86_400)`, so the victim order is *frozen* within a
+/// day bucket and reshuffles only when the clock crosses a day
+/// boundary. That makes the priority piecewise-constant in `now` —
+/// [`KineticForm::PiecewiseConstant`] — so the kinetic index serves
+/// purges out of cached comparisons all day and pays a rebuild-scale
+/// re-certification only at the boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RandomEvict {
     /// Salt mixed into the per-file hash.
@@ -385,6 +778,20 @@ impl MigrationPolicy for RandomEvict {
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 33;
         (x >> 11) as f64
+    }
+
+    fn kinetic(&self, _file: &FileView, now: i64) -> Option<KineticForm> {
+        // The value is bit-frozen while `now / 86_400` (truncating
+        // division, as in `priority`) keeps its value. For non-negative
+        // clocks the bucket ends at the next day multiple; truncation
+        // makes negative buckets end one second after one.
+        let k = now / 86_400;
+        let until = if k < 0 {
+            k.saturating_mul(86_400).saturating_add(1)
+        } else {
+            k.saturating_add(1).saturating_mul(86_400)
+        };
+        Some(KineticForm::PiecewiseConstant { until })
     }
 }
 
@@ -445,9 +852,11 @@ impl MigrationPolicy for Belady {
 ///
 /// Declines [`MigrationPolicy::affine`]: the estimate drifts between
 /// touches under live feedback, so no intercept frozen at push time can
-/// meet the exact-comparison contract. LRU-MAD replays through the
-/// exact rescan (the declination path), and the multi-capacity MRC
-/// engine runs it per-capacity rather than off the shared recency log.
+/// meet the exact-comparison contract. It does ship a
+/// [`MigrationPolicy::kinetic`] form — between touches the frozen
+/// estimate makes the priority `age / (base + decay/tenure)` — so both
+/// the cache and the single-pass MRC engine rank it through the kinetic
+/// tournament instead of the per-purge rescan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LruMad {
     /// Weight on the aggregate-delay term, in 1/(waiter-seconds);
@@ -480,6 +889,30 @@ impl MigrationPolicy for LruMad {
     // No affine form and not recency-keyed: the feedback estimate can
     // change between touches (EWMA drift), bending pairwise order in a
     // way no frozen intercept reproduces exactly.
+
+    fn kinetic(&self, file: &FileView, _now: i64) -> Option<KineticForm> {
+        // Between touches the estimate is frozen on the entry, so the
+        // denominator 1 + w·aggregate_delay unrolls to
+        // base + decay / tenure with base = 1 + w·est ≥ 1 and
+        // decay = w·est²·refs ≥ 0 — the PowerAgeLat shape (age
+        // numerator with coeff 1, exponent 1). EWMA drift re-stamps the
+        // entry only through a touch, which re-issues the form.
+        if !self.delay_weight.is_finite() || self.delay_weight < 0.0 {
+            return None;
+        }
+        let est = file.est_miss_wait_s.max(0.0);
+        if !est.is_finite() {
+            return None;
+        }
+        Some(KineticForm::PowerAgeLat {
+            coeff: 1.0,
+            anchor: file.last_ref,
+            exponent: 1.0,
+            base: 1.0 + self.delay_weight * est,
+            decay: self.delay_weight * est * est * file.ref_count as f64,
+            created: file.created,
+        })
+    }
 }
 
 /// Latency-aware space-time product: Smith's STP discounted by the
@@ -493,8 +926,9 @@ impl MigrationPolicy for LruMad {
 /// With zero latency feedback the denominator is exactly `1.0` and the
 /// policy is bit-identical to [`Stp`] at the same exponent. Declines
 /// [`MigrationPolicy::affine`] for the same reasons as [`Stp`] (per-file
-/// slope) and [`LruMad`] (feedback drift); replays through the exact
-/// rescan.
+/// slope) and [`LruMad`] (feedback drift), but ships the
+/// [`MigrationPolicy::kinetic`] PowerAgeLat form, so it ranks through
+/// the kinetic tournament instead of the per-purge rescan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StpLat {
     /// Exponent on the age term, as in [`Stp`].
@@ -526,6 +960,29 @@ impl MigrationPolicy for StpLat {
 
     fn latency_aware(&self) -> bool {
         true
+    }
+
+    fn kinetic(&self, file: &FileView, _now: i64) -> Option<KineticForm> {
+        // Same denominator unroll as LRU-MAD, with STP's power-age
+        // numerator on top.
+        if !self.exponent.is_finite() || self.exponent <= 0.0 {
+            return None;
+        }
+        if !self.delay_weight.is_finite() || self.delay_weight < 0.0 {
+            return None;
+        }
+        let est = file.est_miss_wait_s.max(0.0);
+        if !est.is_finite() {
+            return None;
+        }
+        Some(KineticForm::PowerAgeLat {
+            coeff: file.size as f64,
+            anchor: file.last_ref,
+            exponent: self.exponent,
+            base: 1.0 + self.delay_weight * est,
+            decay: self.delay_weight * est * est * file.ref_count as f64,
+            created: file.created,
+        })
     }
 }
 
@@ -812,5 +1269,206 @@ mod tests {
             p.priority(&silo, now) > p.priority(&shelf, now),
             "equal space-time product: the cheap-to-recall file leaves first"
         );
+    }
+
+    /// True if `w` beats `l` at `t` in rescan order (priority
+    /// descending, ties by ascending id).
+    fn order_holds(policy: &dyn MigrationPolicy, w: &FileView, l: &FileView, t: i64) -> bool {
+        match policy.priority(w, t).total_cmp(&policy.priority(l, t)) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => w.id < l.id,
+        }
+    }
+
+    /// Checks [`certify_order`] soundness for one pair at one probe
+    /// time: the certified winner must keep winning at every sampled
+    /// instant strictly before the expiry. Returns the expiry.
+    fn check_certified_pair(
+        policy: &dyn MigrationPolicy,
+        a: &FileView,
+        b: &FileView,
+        now: i64,
+    ) -> i64 {
+        let (w, l) = if order_holds(policy, a, b, now) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let fw = policy
+            .kinetic(w, now)
+            .expect("policy advertises a kinetic form");
+        let fl = policy.kinetic(l, now).unwrap();
+        let e = certify_order(
+            &fw,
+            policy.priority(w, now),
+            &fl,
+            policy.priority(l, now),
+            now,
+        );
+        assert!(e > now, "{}: expiry must be in the future", policy.name());
+        // Dense probes near `now`, geometric probes toward the expiry,
+        // and the last instant the certificate still covers.
+        let mut probes: Vec<i64> = (now..(now + 512).min(e)).collect();
+        let mut step = 512i64;
+        while step < 1 << 40 && now.saturating_add(step) < e {
+            probes.push(now + step);
+            probes.push((now + step).min(e - 1));
+            step *= 2;
+        }
+        if e < i64::MAX {
+            probes.push(e - 1);
+        }
+        for t in probes {
+            assert!(
+                order_holds(policy, w, l, t),
+                "{}: certified order flipped at t={t} (now={now}, expiry={e}, {} vs {})",
+                policy.name(),
+                w.id,
+                l.id
+            );
+        }
+        e
+    }
+
+    fn assert_kinetic_contract(policy: &dyn MigrationPolicy, files: &[FileView]) {
+        let latest = files
+            .iter()
+            .map(|f| f.last_ref.max(f.created))
+            .max()
+            .unwrap();
+        // Probe right after the last touch, mid-interval, and just
+        // before a day boundary (RandomEvict's reshuffle point).
+        for now in [latest, latest + 13, 86_399.max(latest)] {
+            for (i, a) in files.iter().enumerate() {
+                for b in files.iter().skip(i + 1) {
+                    check_certified_pair(policy, a, b, now);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinetic_certificates_never_outlive_an_order_flip() {
+        let mut files = vec![
+            file(1, 100, 10, 1),
+            file(2, 100, 10, 3),
+            file(3, 7, 250, 9),
+            file(4, 1 << 40, 0, 1),
+            file(5, 1 << 40, 99, 2),
+            file(6, 1, 299, 1),  // tiny and fresh: crossing-heavy vs 4/5
+            file(7, 100, 10, 1), // same state as id 1: permanent tie
+        ];
+        files[2].created = 50;
+        for f in &mut files {
+            f.est_miss_wait_s = 7.5;
+        }
+        files[3].est_miss_wait_s = 600.0;
+        assert_kinetic_contract(&Stp::classic(), &files);
+        assert_kinetic_contract(&Stp { exponent: 1.0 }, &files);
+        assert_kinetic_contract(&Stp { exponent: 2.0 }, &files);
+        assert_kinetic_contract(&Saac, &files);
+        assert_kinetic_contract(&RandomEvict { salt: 0xA5A5 }, &files);
+        assert_kinetic_contract(&LruMad::classic(), &files);
+        assert_kinetic_contract(&StpLat::classic(), &files);
+    }
+
+    #[test]
+    fn identical_states_certify_forever() {
+        // Same (size, last_ref) ⇒ bit-identical forms ⇒ the id
+        // tie-break is permanent.
+        let a = file(1, 100, 10, 1);
+        let b = file(2, 100, 10, 1);
+        let p = Stp::classic();
+        let e = check_certified_pair(&p, &a, &b, 500);
+        assert_eq!(e, i64::MAX);
+    }
+
+    #[test]
+    fn near_ties_stay_hot() {
+        // Stp(1.0): 200·age vs 100·2·age — equal values, different
+        // forms. The solver must re-check every step.
+        let p = Stp { exponent: 1.0 };
+        let a = file(1, 200, 100, 1);
+        let b = file(2, 100, 0, 1);
+        let now = 200; // ages 100 and 200: both priorities 20_000
+        assert_eq!(p.priority(&a, now).to_bits(), p.priority(&b, now).to_bits());
+        let e = check_certified_pair(&p, &a, &b, now);
+        assert_eq!(e, now + 1);
+    }
+
+    #[test]
+    fn random_evict_certificates_end_at_the_day_boundary() {
+        let p = RandomEvict { salt: 7 };
+        let a = file(1, 10, 0, 1);
+        let b = file(2, 10, 0, 1);
+        let e = check_certified_pair(&p, &a, &b, 100);
+        assert_eq!(e, 86_400, "frozen exactly until the next day bucket");
+        let e = check_certified_pair(&p, &a, &b, 86_399);
+        assert_eq!(e, 86_400);
+        let e = check_certified_pair(&p, &a, &b, 86_400);
+        assert_eq!(e, 2 * 86_400);
+    }
+
+    #[test]
+    fn stp_certificates_are_not_vacuously_short() {
+        // A well-separated pair must certify past now + 1, or the
+        // tournament degenerates into a per-step rescan.
+        let p = Stp::classic();
+        let old_large = file(1, 1 << 30, 0, 1);
+        let fresh_small = file(2, 1 << 10, 990, 1);
+        let e = check_certified_pair(&p, &old_large, &fresh_small, 1000);
+        assert!(e > 1_010, "expiry {e} too conservative");
+    }
+
+    #[test]
+    fn stp_crossing_expires_the_certificate_in_time() {
+        // Old tiny winner vs a just-touched huge loser: the loser
+        // overtakes at t ≈ 1005.005 (the closed-form crossing), so the
+        // certificate must expire by 1006 — and the order really flips
+        // there.
+        let p = Stp { exponent: 1.0 };
+        let old_tiny = file(1, 1, 0, 1);
+        let fresh_huge = file(2, 1000, 1004, 1);
+        let now = 1005;
+        assert!(order_holds(&p, &old_tiny, &fresh_huge, now));
+        let e = check_certified_pair(&p, &old_tiny, &fresh_huge, now);
+        assert_eq!(e, 1006);
+        assert!(
+            order_holds(&p, &fresh_huge, &old_tiny, e),
+            "the loser overtakes right at the certified expiry"
+        );
+    }
+
+    #[test]
+    fn kinetic_policies_ship_exactly_one_variant() {
+        let f = file(1, 100, 10, 2);
+        let g = file(2, 1 << 30, 500, 9);
+        for (p, want_affine) in [
+            (&Stp::classic() as &dyn MigrationPolicy, false),
+            (&Saac, true),
+            (&RandomEvict { salt: 1 }, false),
+            (&LruMad::classic(), false),
+            (&StpLat::classic(), false),
+        ] {
+            let (ka, kb) = (p.kinetic(&f, 10).unwrap(), p.kinetic(&g, 500).unwrap());
+            assert_eq!(
+                std::mem::discriminant(&ka),
+                std::mem::discriminant(&kb),
+                "{}: one instance, one variant",
+                p.name()
+            );
+            assert_eq!(
+                matches!(ka, KineticForm::Affine { .. }),
+                want_affine,
+                "{}",
+                p.name()
+            );
+            // Kinetic is the fallback tier: these all decline affine.
+            assert!(p.affine(&f).is_none());
+        }
+        // And the affine tier does not need the kinetic hook.
+        assert!(Lru.kinetic(&f, 10).is_none());
+        assert!(Belady.kinetic(&f, 10).is_none());
     }
 }

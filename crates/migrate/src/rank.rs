@@ -1,9 +1,10 @@
-//! The incremental victim-ranking structure behind the eviction index:
-//! a monotone queue that self-degrades to a lazy max-heap.
+//! The incremental victim-ranking structures behind the eviction
+//! index: a monotone queue that self-degrades to a lazy max-heap, and a
+//! kinetic tournament for time-varying priorities.
 //!
 //! Affine policies push one key per relevant entry mutation and pop
 //! victims in `(intercept desc, id asc)` order with pop-time
-//! revalidation against live state. Two structural regimes:
+//! revalidation against live state. Three structural regimes:
 //!
 //! * **Monotone queue.** Policies whose keys never rise over time (LRU
 //!   pushes `−now`, FIFO pushes `−created = −insert time`) emit pushes
@@ -13,6 +14,16 @@
 //! * **Lazy max-heap.** The first out-of-order push (Belady's
 //!   `next_use`, size keys) converts the deque into a binary heap in
 //!   one O(n) heapify, and everything continues with O(log n) ops.
+//! * **Kinetic tournament** ([`KineticTournament`]). Policies whose
+//!   pairwise order *drifts with the clock* (STP's per-file slope,
+//!   SAAC's activity discount, salted-random's day reshuffle, the
+//!   latency-aware pair) cannot be keyed once at all — but they ship a
+//!   [`crate::policy::KineticForm`] closed-form curve, so each internal
+//!   node of a tournament tree caches its winner together with a
+//!   *certificate* ([`crate::policy::certify_order`]): the earliest
+//!   instant the cached comparison could flip. Advancing the clock
+//!   recomputes only subtrees whose certificate minimum has expired;
+//!   an entry mutation replays one root-to-leaf path.
 //!
 //! Staleness is resolved when a key surfaces: the caller's `validate`
 //! closure checks the candidate against live state and answers
@@ -29,6 +40,8 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+
+use crate::policy::{certify_order, KineticForm};
 
 /// One ranked key: a file's affine intercept at push time plus the
 /// caller's payload (e.g. a dense file index). Ordered by
@@ -230,6 +243,415 @@ impl<P: Copy> VictimRank<P> {
     }
 }
 
+/// Sentinel leaf slot / winner / file mapping: "none".
+const NO_SLOT: u32 = u32::MAX;
+
+/// One internal tournament node: the winning leaf slot of the subtree,
+/// the node's *own* certificate (when the cached finalist comparison
+/// could flip), and the minimum expiry over the whole subtree. The
+/// subtree minimum lets [`KineticTournament::advance`] skip every
+/// subtree whose cached comparisons are still guaranteed; keeping the
+/// own certificate separate lets both `advance` and a reseat *recombine*
+/// a node — refresh `min_expiry` from stored fields with zero policy
+/// evaluations — whenever its finalist pair is known to be unchanged.
+#[derive(Debug, Clone, Copy)]
+struct KNode {
+    winner: u32,
+    own_expiry: i64,
+    min_expiry: i64,
+}
+
+const EMPTY_NODE: KNode = KNode {
+    winner: NO_SLOT,
+    own_expiry: i64::MAX,
+    min_expiry: i64::MAX,
+};
+
+/// One leaf: a resident file's dense index, its priority and kinetic
+/// form as of `stamp`. Leaves refresh lazily — only when a recompute
+/// actually compares them at a newer time.
+#[derive(Debug, Clone, Copy)]
+struct KLeaf {
+    file: u32,
+    priority: f64,
+    form: KineticForm,
+    stamp: i64,
+}
+
+const EMPTY_LEAF: KLeaf = KLeaf {
+    file: NO_SLOT,
+    priority: 0.0,
+    form: KineticForm::PiecewiseConstant { until: i64::MAX },
+    stamp: i64::MIN,
+};
+
+/// A kinetic tournament over the resident set: an implicit perfect
+/// binary tree whose internal nodes cache `(winner, certificate)` pairs
+/// (see the module docs for the regime overview).
+///
+/// The caller supplies one `eval` closure mapping a dense file index
+/// and a time to `(priority, kinetic form)` — the *true*
+/// [`crate::policy::MigrationPolicy::priority`] value, which is all the
+/// tournament ever compares (forms only schedule re-checks), so the
+/// winner sequence is bit-identical to the rescan's
+/// `(priority desc, id asc)` order by construction. `eval` returning
+/// `None` (entry missing, policy refusing a form) makes the mutating
+/// call answer `false`: the caller must discard the tournament and
+/// degrade to the exact rescan, mirroring [`Candidate::Abort`].
+///
+/// Layout: `tree.len() == leaves.len() == cap`, a power of two;
+/// `tree[0]` is unused, the root is `tree[1]`, node `i`'s children are
+/// `2i`/`2i+1`, and a child index `c ≥ cap` denotes leaf `c − cap`.
+#[derive(Debug)]
+pub(crate) struct KineticTournament {
+    tree: Vec<KNode>,
+    leaves: Vec<KLeaf>,
+    /// Dense file index → leaf slot ([`NO_SLOT`] when untracked).
+    slot_of: Vec<u32>,
+    free: Vec<u32>,
+    len: usize,
+    now: i64,
+}
+
+impl KineticTournament {
+    /// An empty tournament with room for `n` leaves before growing.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = n.next_power_of_two().max(2);
+        KineticTournament {
+            tree: vec![EMPTY_NODE; cap],
+            leaves: vec![EMPTY_LEAF; cap],
+            slot_of: Vec::new(),
+            free: (0..cap as u32).rev().collect(),
+            len: 0,
+            now: i64::MIN,
+        }
+    }
+
+    /// Builds over a resident set in one bottom-up O(n) pass. `None`
+    /// if the policy refuses a form for any resident.
+    pub fn build(
+        files: &[u32],
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+    ) -> Option<Self> {
+        let mut t = Self::with_capacity(files.len());
+        t.now = now;
+        for &f in files {
+            let slot = t.free.pop().expect("capacity covers the build set");
+            let (priority, form) = eval(f, now)?;
+            t.leaves[slot as usize] = KLeaf {
+                file: f,
+                priority,
+                form,
+                stamp: now,
+            };
+            let fi = f as usize;
+            if fi >= t.slot_of.len() {
+                t.slot_of.resize(fi + 1, NO_SLOT);
+            }
+            debug_assert_eq!(t.slot_of[fi], NO_SLOT, "duplicate file in build set");
+            t.slot_of[fi] = slot;
+        }
+        t.len = files.len();
+        let mut ok = true;
+        t.rebuild(now, eval, &mut ok);
+        ok.then_some(t)
+    }
+
+    /// Tracked (resident) leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Moves the tournament clock to `now`, replaying exactly the
+    /// subtrees whose certificates have expired. `false` aborts (see
+    /// the type docs).
+    pub fn advance(
+        &mut self,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+    ) -> bool {
+        debug_assert!(now >= self.now, "kinetic clocks are monotone");
+        self.now = now;
+        let mut ok = true;
+        self.advance_node(1, now, eval, &mut ok);
+        ok
+    }
+
+    /// Inserts or re-evaluates one file (any entry mutation: touch,
+    /// resize, insert), replaying its root-to-leaf path.
+    pub fn upsert(
+        &mut self,
+        file: u32,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+    ) -> bool {
+        let fi = file as usize;
+        if fi >= self.slot_of.len() {
+            self.slot_of.resize(fi + 1, NO_SLOT);
+        }
+        let mut ok = true;
+        let slot = match self.slot_of[fi] {
+            NO_SLOT => {
+                let slot = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        self.grow(now, eval, &mut ok);
+                        if !ok {
+                            return false;
+                        }
+                        self.free.pop().expect("grow doubles the leaf space")
+                    }
+                };
+                self.slot_of[fi] = slot;
+                self.len += 1;
+                slot
+            }
+            s => s,
+        };
+        match eval(file, now) {
+            Some((priority, form)) => {
+                self.leaves[slot as usize] = KLeaf {
+                    file,
+                    priority,
+                    form,
+                    stamp: now,
+                };
+            }
+            None => return false,
+        }
+        self.reseat(slot, now, eval, &mut ok);
+        ok
+    }
+
+    /// Unregisters an evicted file, replaying its root-to-leaf path.
+    /// Unknown files are a no-op (`true`).
+    pub fn remove(
+        &mut self,
+        file: u32,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+    ) -> bool {
+        let Some(&slot) = self.slot_of.get(file as usize) else {
+            return true;
+        };
+        if slot == NO_SLOT {
+            return true;
+        }
+        self.slot_of[file as usize] = NO_SLOT;
+        self.leaves[slot as usize] = EMPTY_LEAF;
+        self.free.push(slot);
+        self.len -= 1;
+        let mut ok = true;
+        self.reseat(slot, now, eval, &mut ok);
+        ok
+    }
+
+    /// The overall winner as `(file, cached priority, eval stamp)` —
+    /// the exact next victim in `(priority desc, id asc)` order,
+    /// provided [`KineticTournament::advance`] has been called at the
+    /// query time. The cached priority is the policy's value *at
+    /// `stamp`* (≤ the query time): certificates freeze comparison
+    /// outcomes, not values.
+    pub fn winner(&self) -> Option<(u32, f64, i64)> {
+        let w = self.tree[1].winner;
+        if w == NO_SLOT {
+            return None;
+        }
+        let leaf = self.leaves[w as usize];
+        Some((leaf.file, leaf.priority, leaf.stamp))
+    }
+
+    /// `(winner slot, subtree min expiry)` of child position `c`.
+    fn child_state(&self, c: usize) -> (u32, i64) {
+        if c < self.tree.len() {
+            let n = self.tree[c];
+            (n.winner, n.min_expiry)
+        } else {
+            let s = c - self.tree.len();
+            let w = if self.leaves[s].file != NO_SLOT {
+                s as u32
+            } else {
+                NO_SLOT
+            };
+            (w, i64::MAX)
+        }
+    }
+
+    /// Re-evaluates a leaf if its cached value predates `now`.
+    fn refresh(
+        &mut self,
+        slot: u32,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) {
+        let leaf = &mut self.leaves[slot as usize];
+        if leaf.stamp == now || leaf.file == NO_SLOT {
+            return;
+        }
+        match eval(leaf.file, now) {
+            Some((priority, form)) => {
+                leaf.priority = priority;
+                leaf.form = form;
+                leaf.stamp = now;
+            }
+            None => *ok = false,
+        }
+    }
+
+    /// Recomputes one internal node from its (current) children:
+    /// refresh both finalists to `now`, compare true priorities with
+    /// the ascending-id tie-break, certify the outcome.
+    fn recompute(
+        &mut self,
+        i: usize,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) {
+        if !*ok {
+            return;
+        }
+        let (lw, lm) = self.child_state(2 * i);
+        let (rw, rm) = self.child_state(2 * i + 1);
+        let (winner, own) = match (lw, rw) {
+            (NO_SLOT, NO_SLOT) => (NO_SLOT, i64::MAX),
+            (w, NO_SLOT) | (NO_SLOT, w) => (w, i64::MAX),
+            (a, b) => {
+                self.refresh(a, now, eval, ok);
+                self.refresh(b, now, eval, ok);
+                if !*ok {
+                    return;
+                }
+                let (la, lb) = (self.leaves[a as usize], self.leaves[b as usize]);
+                let a_wins = match la.priority.total_cmp(&lb.priority) {
+                    Ordering::Greater => true,
+                    Ordering::Less => false,
+                    Ordering::Equal => la.file < lb.file,
+                };
+                let (slot, w, l) = if a_wins { (a, la, lb) } else { (b, lb, la) };
+                (
+                    slot,
+                    certify_order(&w.form, w.priority, &l.form, l.priority, now),
+                )
+            }
+        };
+        self.tree[i] = KNode {
+            winner,
+            own_expiry: own,
+            min_expiry: own.min(lm).min(rm),
+        };
+    }
+
+    /// Refreshes a node's subtree minimum from stored fields alone —
+    /// the no-eval counterpart of [`KineticTournament::recompute`],
+    /// sound whenever the node's finalist pair (both child winners,
+    /// forms included) is unchanged since its own certificate was cut.
+    fn recombine(&mut self, i: usize) {
+        let (_, lm) = self.child_state(2 * i);
+        let (_, rm) = self.child_state(2 * i + 1);
+        let n = &mut self.tree[i];
+        n.min_expiry = n.own_expiry.min(lm).min(rm);
+    }
+
+    /// Replays expired subtrees below `i`; answers whether the
+    /// subtree's presented winner changed, so the parent can recombine
+    /// instead of recomputing when its own certificate still stands and
+    /// both children came back unchanged.
+    fn advance_node(
+        &mut self,
+        i: usize,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) -> bool {
+        if !*ok || self.tree[i].min_expiry > now {
+            return false;
+        }
+        let l = 2 * i;
+        let mut child_changed = false;
+        if l < self.tree.len() {
+            child_changed |= self.advance_node(l, now, eval, ok);
+            child_changed |= self.advance_node(l + 1, now, eval, ok);
+        }
+        if !*ok {
+            return false;
+        }
+        let old = self.tree[i].winner;
+        if child_changed || self.tree[i].own_expiry <= now {
+            self.recompute(i, now, eval, ok);
+        } else {
+            self.recombine(i);
+        }
+        self.tree[i].winner != old
+    }
+
+    /// Replays the root-to-leaf path above `slot`. Once the mutated
+    /// leaf has lost and a recomputed node presents the same winner as
+    /// before, the mutation can no longer influence any ancestor's
+    /// finalist pair — the remaining path only recombines subtree
+    /// minima, with zero policy evaluations. (Fresh inserts under
+    /// age-based policies start at priority ~0 and lose at the first
+    /// comparison, making the common insert near-O(1) in evals.)
+    fn reseat(
+        &mut self,
+        slot: u32,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) {
+        let mut i = (self.tree.len() + slot as usize) / 2;
+        let mut settled = false;
+        while i >= 1 {
+            if settled {
+                self.recombine(i);
+            } else {
+                let old = self.tree[i].winner;
+                self.recompute(i, now, eval, ok);
+                if !*ok {
+                    return;
+                }
+                // `old != slot` matters: if the mutated leaf itself
+                // stays the winner, ancestor certificates were cut
+                // against its *old* form and must be recut.
+                settled = self.tree[i].winner == old && old != slot;
+            }
+            i /= 2;
+        }
+    }
+
+    /// Doubles the leaf space and rebuilds bottom-up.
+    fn grow(
+        &mut self,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) {
+        let cap = self.tree.len() * 2;
+        self.leaves.resize(cap, EMPTY_LEAF);
+        for s in (cap / 2..cap).rev() {
+            self.free.push(s as u32);
+        }
+        self.tree = vec![EMPTY_NODE; cap];
+        self.rebuild(now, eval, ok);
+    }
+
+    fn rebuild(
+        &mut self,
+        now: i64,
+        eval: &mut impl FnMut(u32, i64) -> Option<(f64, KineticForm)>,
+        ok: &mut bool,
+    ) {
+        for i in (1..self.tree.len()).rev() {
+            self.recompute(i, now, eval, ok);
+            if !*ok {
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +748,209 @@ mod tests {
             Popped::Aborted => {}
             _ => panic!("expected abort"),
         }
+    }
+}
+
+#[cfg(test)]
+mod kinetic_tests {
+    use super::*;
+    use crate::policy::{FileView, MigrationPolicy, RandomEvict, Saac, Stp, StpLat};
+    use fmig_trace::FileId;
+
+    fn view(id: u32, size: u64, last_ref: i64, ref_count: u32) -> FileView {
+        FileView {
+            id: FileId::new(id),
+            size,
+            last_ref,
+            created: 0,
+            ref_count,
+            next_use: None,
+            est_miss_wait_s: 4.0,
+        }
+    }
+
+    /// The rescan oracle: argmax by `(priority desc, id asc)`.
+    fn naive_best(p: &dyn MigrationPolicy, state: &[Option<FileView>], now: i64) -> Option<u32> {
+        state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (p.priority(v, now), i as u32)))
+            .max_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, i)| i)
+    }
+
+    /// Drives one policy through a deterministic churn of advances,
+    /// touches, inserts, and winner evictions, asserting the tournament
+    /// winner equals the rescan argmax at every step.
+    fn churn_matches_rescan(p: &dyn MigrationPolicy, steps: usize) {
+        let universe = 48u32;
+        let mut state: Vec<Option<FileView>> = (0..universe)
+            .map(|i| {
+                Some(view(
+                    i,
+                    1 + (i as u64 * 7919) % 100_000,
+                    (i as i64 * 131) % 900,
+                    1 + i % 5,
+                ))
+            })
+            .collect();
+        let files: Vec<u32> = (0..universe).collect();
+        let mut rng = 0x9E37_79B9_u64;
+        let mut step_rng = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut now = 900i64;
+        let mut t = {
+            let mut eval = |f: u32, at: i64| {
+                let v = state[f as usize].as_ref()?;
+                Some((p.priority(v, at), p.kinetic(v, at)?))
+            };
+            KineticTournament::build(&files, now, &mut eval).expect("suite policies have forms")
+        };
+        for step in 0..steps {
+            // Jumps both short (crossing-heavy) and day-scale.
+            now += match step_rng() % 7 {
+                0 => 0,
+                1..=4 => (step_rng() % 13) as i64,
+                5 => 977,
+                _ => 86_400 / 2,
+            };
+            {
+                let mut eval = |f: u32, at: i64| {
+                    let v = state[f as usize].as_ref()?;
+                    Some((p.priority(v, at), p.kinetic(v, at)?))
+                };
+                assert!(t.advance(now, &mut eval));
+            }
+            assert_eq!(
+                t.winner().map(|(f, _, _)| f),
+                naive_best(p, &state, now),
+                "{}: winner diverged at step {step}, now {now}",
+                p.name()
+            );
+            match step_rng() % 4 {
+                0 => {
+                    // Touch a random resident file.
+                    let f = (step_rng() % universe as u64) as u32;
+                    if let Some(v) = state[f as usize].as_mut() {
+                        v.last_ref = now;
+                        v.ref_count += 1;
+                        let mut eval = |f: u32, at: i64| {
+                            let v = state[f as usize].as_ref()?;
+                            Some((p.priority(v, at), p.kinetic(v, at)?))
+                        };
+                        assert!(t.upsert(f, now, &mut eval));
+                    }
+                }
+                1 => {
+                    // Evict the winner (the purge path).
+                    if let Some((f, _, _)) = t.winner() {
+                        state[f as usize] = None;
+                        let mut eval = |f: u32, at: i64| {
+                            let v = state[f as usize].as_ref()?;
+                            Some((p.priority(v, at), p.kinetic(v, at)?))
+                        };
+                        assert!(t.remove(f, now, &mut eval));
+                    }
+                }
+                2 => {
+                    // (Re)insert a file, possibly beyond the original
+                    // universe to force growth.
+                    let f = (step_rng() % (universe as u64 + 16)) as u32;
+                    if state.len() <= f as usize {
+                        state.resize(f as usize + 1, None);
+                    }
+                    state[f as usize] = Some(view(f, 1 + (step_rng() % 1_000_000), now, 1));
+                    let mut eval = |f: u32, at: i64| {
+                        let v = state[f as usize].as_ref()?;
+                        Some((p.priority(v, at), p.kinetic(v, at)?))
+                    };
+                    assert!(t.upsert(f, now, &mut eval));
+                }
+                _ => {}
+            }
+            assert_eq!(
+                t.winner().map(|(f, _, _)| f),
+                naive_best(p, &state, now),
+                "{}: winner diverged after mutation at step {step}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tournament_matches_rescan_for_stp() {
+        churn_matches_rescan(&Stp::classic(), 300);
+        churn_matches_rescan(&Stp { exponent: 1.0 }, 300);
+    }
+
+    #[test]
+    fn tournament_matches_rescan_for_saac() {
+        churn_matches_rescan(&Saac, 300);
+    }
+
+    #[test]
+    fn tournament_matches_rescan_for_random_evict() {
+        churn_matches_rescan(&RandomEvict { salt: 0xA5A5 }, 300);
+    }
+
+    #[test]
+    fn tournament_matches_rescan_for_stp_lat() {
+        churn_matches_rescan(&StpLat::classic(), 300);
+    }
+
+    #[test]
+    fn eval_refusal_aborts() {
+        let p = Stp::classic();
+        let state = [Some(view(0, 10, 0, 1)), Some(view(1, 20, 0, 1))];
+        let mut t = {
+            let mut eval = |f: u32, at: i64| {
+                let v = state[f as usize].as_ref()?;
+                Some((p.priority(v, at), p.kinetic(v, at)?))
+            };
+            KineticTournament::build(&[0, 1], 0, &mut eval).unwrap()
+        };
+        // An eval that refuses mid-advance must surface as `false`.
+        assert!(!t.advance(1, &mut |_, _| None));
+    }
+
+    #[test]
+    fn draining_every_winner_yields_the_full_rescan_sequence() {
+        let p = Stp::classic();
+        let mut state: Vec<Option<FileView>> = (0..33u32)
+            .map(|i| Some(view(i, 1 + (i as u64 * 37) % 500, (i as i64 * 17) % 200, 1)))
+            .collect();
+        let files: Vec<u32> = (0..33).collect();
+        let now = 200;
+        let mut expected = Vec::new();
+        {
+            let mut s = state.clone();
+            while let Some(f) = naive_best(&p, &s, now) {
+                expected.push(f);
+                s[f as usize] = None;
+            }
+        }
+        let mut t = {
+            let mut eval = |f: u32, at: i64| {
+                let v = state[f as usize].as_ref()?;
+                Some((p.priority(v, at), p.kinetic(v, at)?))
+            };
+            KineticTournament::build(&files, now, &mut eval).unwrap()
+        };
+        let mut got = Vec::new();
+        while let Some((f, _, _)) = t.winner() {
+            got.push(f);
+            state[f as usize] = None;
+            let mut eval = |f: u32, at: i64| {
+                let v = state[f as usize].as_ref()?;
+                Some((p.priority(v, at), p.kinetic(v, at)?))
+            };
+            assert!(t.remove(f, now, &mut eval));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(t.len(), 0);
     }
 }

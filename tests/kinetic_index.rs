@@ -1,0 +1,220 @@
+//! Exactness properties of the kinetic victim-ranking path: for every
+//! time-varying shipped policy, replaying through the kinetic
+//! tournament must be **observationally identical** to the sort-based
+//! rescan oracle —
+//!
+//! * the full `CacheOp` stream (every victim, in order, with its stall
+//!   classification), the counters, and the survivor set of a
+//!   [`DiskCache`] replay;
+//! * the single-pass miss-ratio-curve engine against one naive full
+//!   replay per capacity, at resident counts large enough to clear the
+//!   `INDEX_MIN_RESIDENTS` activation gate so the MRC stacks actually
+//!   rank through their tournaments.
+//!
+//! Traces are adversarial for certificates: sizes span orders of
+//! magnitude and timestamps mix zero steps (exact ties), short hops
+//! (crossing-heavy STP windows) and half-day jumps (RandomEvict's
+//! piecewise-constant epochs flip mid-trace). Latency-aware policies
+//! get a nonzero recall-wait hint so their priority actually uses it.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use fmig_migrate::cache::{CacheConfig, CacheOp, DiskCache, EvictionMode};
+use fmig_migrate::eval::{EvalConfig, PreparedRef};
+use fmig_migrate::mrc::{sweep_capacities, sweep_capacities_naive};
+use fmig_migrate::policy::{LruMad, MigrationPolicy, RandomEvict, Saac, Stp, StpLat};
+use fmig_trace::{DeviceClass, FileId};
+
+/// One raw reference: (write?, file id, size, time step).
+type Spec = (bool, u64, u64, i64);
+
+/// Every shipped policy whose priority drifts with the clock — exactly
+/// the set that ranks through the kinetic tournament (one entry per
+/// [`fmig_migrate::policy::KineticForm`] variant, plus the exponent
+/// spread that stresses the shared-exponent crossing solver).
+fn kinetic_suite() -> Vec<Box<dyn MigrationPolicy>> {
+    vec![
+        Box::new(Stp { exponent: 1.0 }),
+        Box::new(Stp::classic()),
+        Box::new(Stp { exponent: 2.0 }),
+        Box::new(Saac),
+        Box::new(RandomEvict { salt: 0xD1CE }),
+        Box::new(LruMad::classic()),
+        Box::new(StpLat::classic()),
+    ]
+}
+
+/// Turns raw specs into a prepared reference stream: monotone times
+/// (with a half-day hop every `day_stride` refs so piecewise-constant
+/// epochs roll over mid-trace) and an oracle-consistent `next_use`
+/// reverse sweep.
+fn build_refs(specs: &[Spec], day_stride: usize) -> Vec<PreparedRef> {
+    let mut t = 0i64;
+    let mut refs: Vec<PreparedRef> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(write, id, size, dt))| {
+            t += dt;
+            if i % day_stride == day_stride - 1 {
+                t += 43_200;
+            }
+            PreparedRef {
+                id: id.into(),
+                size,
+                write,
+                time: t,
+                next_use: None,
+                device: DeviceClass::Disk,
+            }
+        })
+        .collect();
+    let mut next_seen: HashMap<FileId, i64> = HashMap::new();
+    for r in refs.iter_mut().rev() {
+        r.next_use = next_seen.get(&r.id).copied();
+        next_seen.insert(r.id, r.time);
+    }
+    refs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The kinetic tournament replays the identical victim sequence to
+    /// the sort-based rescan oracle for every time-varying policy: same
+    /// `CacheOp` stream, same counters, same survivors — ties included,
+    /// since zero time steps produce exact priority collisions resolved
+    /// by ascending id on both sides.
+    #[test]
+    fn kinetic_index_matches_sort_oracle_victim_sequence(
+        specs in proptest::collection::vec(
+            (
+                any::<bool>(),
+                0u64..40,
+                1u64..600_000,
+                0i64..400, // zero steps: equal-timestamp ties
+            ),
+            20..220,
+        ),
+        capacity_pct in 2u64..40,
+        day_stride in 5usize..40,
+        est_ds in 0u32..300,
+    ) {
+        let refs = build_refs(&specs, day_stride);
+        let total: u64 = refs.iter().map(|r| r.size).sum();
+        let config = CacheConfig {
+            capacity: (total * capacity_pct / 100).max(1),
+            high_watermark: 0.9,
+            low_watermark: 0.6,
+            eager_writeback: false, // dirty evictions: ops carry stalls
+        };
+        let est = f64::from(est_ds) / 10.0;
+        for policy in kinetic_suite() {
+            let mut indexed =
+                DiskCache::with_eviction_mode(config, policy.as_ref(), EvictionMode::Indexed);
+            let mut rescan =
+                DiskCache::with_eviction_mode(config, policy.as_ref(), EvictionMode::Rescan);
+            indexed.set_est_miss_wait_s(est);
+            rescan.set_est_miss_wait_s(est);
+            let mut indexed_ops: Vec<CacheOp> = Vec::new();
+            let mut rescan_ops: Vec<CacheOp> = Vec::new();
+            for r in &refs {
+                if r.write {
+                    indexed.write_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        indexed_ops.push(op)
+                    });
+                    rescan.write_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        rescan_ops.push(op)
+                    });
+                } else {
+                    let a = indexed.read_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        indexed_ops.push(op)
+                    });
+                    let b = rescan.read_with(r.id, r.size, r.time, r.next_use, &mut |op| {
+                        rescan_ops.push(op)
+                    });
+                    prop_assert!(a == b, "{}: read result diverged", policy.name());
+                    indexed.fetch_complete(r.id);
+                    rescan.fetch_complete(r.id);
+                }
+            }
+            prop_assert!(
+                indexed_ops == rescan_ops,
+                "{}: victim sequences diverged",
+                policy.name()
+            );
+            prop_assert_eq!(indexed.stats(), rescan.stats());
+            for r in &refs {
+                prop_assert_eq!(indexed.contains(r.id), rescan.contains(r.id));
+            }
+        }
+    }
+}
+
+proptest! {
+    // Heavier cases (hundreds of residents so the MRC stacks clear the
+    // `INDEX_MIN_RESIDENTS` gate and rank through their tournaments),
+    // so fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The fused single-pass miss-ratio curve equals one naive full
+    /// replay per capacity for every kinetic policy, at scales where
+    /// the per-stack kinetic tournaments actually activate.
+    #[test]
+    fn mrc_kinetic_stacks_equal_per_capacity_replay(
+        specs in proptest::collection::vec(
+            (
+                any::<bool>(),
+                0u64..400, // wide id space: hundreds of residents
+                1u64..4_000,
+                0i64..60,
+            ),
+            500..800,
+        ),
+        day_stride in 20usize..60,
+    ) {
+        let refs = build_refs(&specs, day_stride);
+        let total: u64 = refs.iter().map(|r| r.size).sum();
+        // The top capacity holds nearly every distinct file — far past
+        // the 128-resident activation gate — while the low one churns.
+        let capacities: Vec<u64> = [20u64, 60, 95]
+            .iter()
+            .map(|&pct| (total * pct / 100).max(1))
+            .collect();
+        let base = EvalConfig::with_capacity(0);
+        for policy in kinetic_suite() {
+            let fused = sweep_capacities(&refs, policy.as_ref(), &capacities, &base);
+            let naive = sweep_capacities_naive(&refs, policy.as_ref(), &capacities, &base);
+            prop_assert!(fused == naive, "{} diverged", policy.name());
+        }
+    }
+}
+
+/// Engagement guard at the public-API level: a purge-heavy STP replay
+/// under `Indexed` mode must actually be ranking through the kinetic
+/// tournament (not silently degraded to the rescan), and the victim
+/// stream must still match the oracle.
+#[test]
+fn stp_replay_engages_the_kinetic_tournament() {
+    let config = CacheConfig {
+        capacity: 1 << 20,
+        high_watermark: 0.9,
+        low_watermark: 0.7,
+        eager_writeback: true,
+    };
+    let policy = Stp::classic();
+    let mut indexed = DiskCache::with_eviction_mode(config, &policy, EvictionMode::Indexed);
+    let mut rescan = DiskCache::with_eviction_mode(config, &policy, EvictionMode::Rescan);
+    let mut a: Vec<CacheOp> = Vec::new();
+    let mut b: Vec<CacheOp> = Vec::new();
+    for i in 0..4_000u64 {
+        let (id, size, now) = (i % 600, 1_000 + (i % 13) * 700, (i * 5) as i64);
+        indexed.write_with(id, size, now, None, &mut |op| a.push(op));
+        rescan.write_with(id, size, now, None, &mut |op| b.push(op));
+    }
+    assert!(indexed.uses_kinetic_index(), "STP must rank kinetically");
+    assert!(!indexed.uses_eviction_index());
+    assert_eq!(a, b);
+    assert_eq!(indexed.stats(), rescan.stats());
+}
