@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track bench-scaling clean
+.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track bench-scaling service-smoke clean
 
-ci: build test test-matrix fmt lint bench docs examples bench-track bench-scaling
+ci: build test test-matrix fmt lint bench docs examples bench-track bench-scaling service-smoke
 
 build:
 	$(CARGO) build --release --workspace --all-targets
@@ -60,6 +60,17 @@ bench-track:
 bench-scaling:
 	$(CARGO) run --release -p fmig-bench --bin repro -- sweep --preset tiny --latency --scaling --out BENCH_scaling.json
 	python3 ci/check_bench.py --require-scaling ci/bench_baseline.json BENCH_scaling.json
+
+# The live-service oracle gate: boots the real fmig-origin/fmig-served/
+# fmig-loadgen binaries over loopback, replays the tiny-preset cell
+# healthy and degraded-peak, and fails unless the live miss counters
+# exactly equal the hierarchy simulator's and the p99 read wait lands
+# within ±15% of its prediction. The healthy run's throughput is
+# recorded as service_refs_per_sec in the artifact (report-only — not
+# gated; absolute socket throughput shifts with runner generations).
+service-smoke:
+	$(CARGO) build --release -p fmig-serve -p fmig-bench
+	$(CARGO) run --release -p fmig-bench --bin repro -- service-smoke --bench BENCH_sweep.json
 
 clean:
 	$(CARGO) clean

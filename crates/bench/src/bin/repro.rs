@@ -75,6 +75,7 @@ fn usage() -> String {
         "usage: repro [--scale S] [--seed N] [--no-sim] <experiment>|all|list\n\
          \x20      repro sweep [--preset tiny|small|large|huge] [--workers N] [--seed N]\n\
          \x20                  [--latency] [--scaling] [--faults S1,S2,...] [--out PATH]\n\
+         \x20      repro service-smoke [--bench PATH]\n\
          experiments: {}\n\
          fault scenarios: {}\n",
         experiment_ids().join(" "),
@@ -531,12 +532,52 @@ fn indent_json(json: &str) -> String {
     json.trim_end().replace('\n', "\n  ")
 }
 
+/// `repro service-smoke`: boot the real `fmig-origin` / `fmig-served` /
+/// `fmig-loadgen` binaries over loopback, replay the tiny-preset cell
+/// healthy and degraded-peak, and hold the live service to the
+/// simulator oracle (exact miss counters, p99 wait within ±15%). The
+/// healthy run's throughput is recorded as `service_refs_per_sec` in
+/// the benchmark artifact (report-only; not gated).
+fn run_service_smoke_command(args: &[String]) -> Result<(), String> {
+    let mut bench = "BENCH_sweep.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => {
+                bench = it.next().ok_or("--bench needs a value")?.clone();
+            }
+            other => return Err(format!("unknown service-smoke flag `{other}`")),
+        }
+    }
+    let outcomes = fmig_serve::smoke::run_service_smoke(Some(&bench))?;
+    for o in &outcomes {
+        println!(
+            "service-smoke {}: miss_ratio={:.4} p99 live={:.1}s oracle={:.1}s ({:.0} refs/s)",
+            o.scenario, o.miss_ratio, o.live_p99_s, o.oracle_p99_s, o.refs_per_sec
+        );
+    }
+    println!(
+        "service-smoke: OK ({} scenarios, oracle-exact)",
+        outcomes.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     // The sweep subcommand has its own flag set; dispatch before the
     // experiment parser sees the arguments.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("sweep") {
         return match run_sweep_command(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("service-smoke") {
+        return match run_service_smoke_command(&raw[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("{e}\n{}", usage());

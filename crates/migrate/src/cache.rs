@@ -377,6 +377,10 @@ pub struct DiskCache<'p> {
     /// repeated purges reuse one allocation instead of paying a fresh
     /// `Vec` each time.
     scratch: Vec<(f64, FileId)>,
+    /// Failed recall attempts ([`DiskCache::fetch_failed`] calls); kept
+    /// outside [`CacheStats`] so degraded runs keep decision counters
+    /// byte-identical to healthy ones. See [`DiskCache::fetch_retries`].
+    fetch_retries: u64,
 }
 
 fn view(id: FileId, e: &Entry) -> FileView {
@@ -437,6 +441,7 @@ impl<'p> DiskCache<'p> {
             max_now: i64::MIN,
             est_miss_wait_s: 0.0,
             scratch: Vec::new(),
+            fetch_retries: 0,
         }
     }
 
@@ -667,14 +672,21 @@ impl<'p> DiskCache<'p> {
     /// outstanding-fetch state is re-armed so reads keep coalescing as
     /// [`ReadResult::DelayedHit`] until a retry finally delivers
     /// ([`DiskCache::fetch_complete`]). Residency, usage, and every
-    /// counter are untouched — the space reserved at the original miss
-    /// stays reserved across retries, so a fault-injected replay makes
-    /// exactly the hit/miss/eviction decisions a fault-free one does.
+    /// [`CacheStats`] counter are untouched — the space reserved at the
+    /// original miss stays reserved across retries, so a fault-injected
+    /// replay makes exactly the hit/miss/eviction decisions a
+    /// fault-free one does. The failure *is* observable, though: it
+    /// bumps the separate [`DiskCache::fetch_retries`] counter, which
+    /// lives outside `CacheStats` precisely so degraded and healthy
+    /// runs keep byte-identical decision counters while the retry toll
+    /// still surfaces (in availability reports and the live service's
+    /// degraded accounting).
     ///
     /// Returns `true` if the file is resident (fetch re-armed); `false`
     /// when it was evicted mid-recall or bypassed the cache, where a
     /// retry's delivery will be a no-op too.
     pub fn fetch_failed(&mut self, id: impl Into<FileId>) -> bool {
+        self.fetch_retries += 1;
         match self
             .slots
             .get_mut(id.into().index())
@@ -686,6 +698,19 @@ impl<'p> DiskCache<'p> {
             }
             None => false,
         }
+    }
+
+    /// Failed recall attempts reported via [`DiskCache::fetch_failed`]
+    /// — one per media read error, whether or not the entry was still
+    /// resident. Deliberately **not** part of [`CacheStats`]: the
+    /// faults-move-time-never-decisions invariant pins degraded and
+    /// healthy `CacheStats` equal, and this counter is exactly the part
+    /// of a degraded run that must still be visible. The closed-loop
+    /// engine's `DegradedOutcome::read_retries` and this counter agree
+    /// by construction; the live daemon (`fmig-serve`) reports it into
+    /// the same availability rows simulated runs fill.
+    pub fn fetch_retries(&self) -> u64 {
+        self.fetch_retries
     }
 
     #[expect(clippy::too_many_arguments)]

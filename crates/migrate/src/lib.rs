@@ -47,6 +47,7 @@ pub mod policy;
 pub mod prefetch;
 mod rank;
 pub mod residency;
+pub mod shard;
 pub mod writeback;
 
 pub use cache::{
@@ -68,4 +69,5 @@ pub use policy::{
 };
 pub use prefetch::PrefetchReport;
 pub use residency::{ResidencyCostModel, ResidencyOutcome, ResidencyPolicy};
+pub use shard::ShardedCache;
 pub use writeback::{defer_writes, deferral_report, DeferralReport};

@@ -1,0 +1,135 @@
+//! Retry backoff policy for daemon→origin recalls.
+//!
+//! Two modes share one mechanism:
+//!
+//! * **compat** — the simulator-oracle schedule: a fixed backoff equal
+//!   to the fault plan's `retry_backoff_s`, no jitter, no budget. This
+//!   reproduces the engine's `RetryReady` timing bit-for-bit, which the
+//!   smoke test's oracle comparison depends on.
+//! * **live** — jittered exponential backoff with a bounded attempt
+//!   budget, for operating the daemon against an origin whose failures
+//!   are not the oracle's (deadline misses, real outages). Jitter is a
+//!   *deterministic* keyed draw from the job id and attempt number, so
+//!   a replay of the same failure sequence backs off identically.
+
+use fmig_sim::event::{SimMs, MS};
+use fmig_sim::fault::seed_mix;
+use fmig_sim::FaultPlan;
+
+/// When (and how long) a failed recall waits before rejoining its drive
+/// queue, and whether it is allowed to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First-retry backoff, virtual ms.
+    pub base_ms: SimMs,
+    /// Growth factor per failed attempt (1.0 = fixed backoff).
+    pub multiplier: f64,
+    /// Backoff ceiling, virtual ms.
+    pub cap_ms: SimMs,
+    /// Relative jitter in `[0, 1)`: the delay is scaled by a
+    /// deterministic factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Failed attempts allowed per recall; `0` means unlimited (the
+    /// oracle-compat engine never abandons a recall).
+    pub max_attempts: u32,
+    /// Seed for the keyed jitter draw.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The oracle-compat policy for a fault plan: fixed backoff equal to
+    /// the plan's, unjittered and unbounded, matching the engine's
+    /// retry timing exactly.
+    pub fn compat(plan: &FaultPlan, seed: u64) -> Self {
+        RetryPolicy {
+            base_ms: (plan.retry_backoff_s * MS as f64) as SimMs,
+            multiplier: 1.0,
+            cap_ms: SimMs::MAX / 4,
+            jitter: 0.0,
+            max_attempts: 0,
+            seed,
+        }
+    }
+
+    /// A live-operations default: 5 s base doubling to a 2-minute cap
+    /// with ±25% jitter, at most 5 failed attempts per recall.
+    pub fn live(seed: u64) -> Self {
+        RetryPolicy {
+            base_ms: 5_000,
+            multiplier: 2.0,
+            cap_ms: 120_000,
+            jitter: 0.25,
+            max_attempts: 5,
+            seed,
+        }
+    }
+
+    /// Whether a recall that has now failed `attempts` times may retry.
+    pub fn allows(&self, attempts: u32) -> bool {
+        self.max_attempts == 0 || attempts < self.max_attempts
+    }
+
+    /// Backoff before retry number `attempts` (1-based count of failed
+    /// attempts so far) of job `job`, virtual ms. Always at least 1 ms
+    /// so a retry never rejoins at the instant the drive freed.
+    pub fn backoff_ms(&self, job: u64, attempts: u32) -> SimMs {
+        let exp = attempts.saturating_sub(1).min(62);
+        let mut delay = self.base_ms as f64 * self.multiplier.powi(exp as i32);
+        if delay > self.cap_ms as f64 {
+            delay = self.cap_ms as f64;
+        }
+        if self.jitter > 0.0 {
+            // splitmix64 of (seed, job, attempt) → uniform in [0, 1).
+            let h = seed_mix(seed_mix(self.seed, job), attempts as u64);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0);
+        }
+        (delay as SimMs).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compat_matches_the_plan_backoff_exactly() {
+        let plan = FaultPlan {
+            outages: vec![],
+            read_error_prob: 0.1,
+            max_read_retries: 2,
+            retry_backoff_s: 45.0,
+            slow_drive: None,
+        };
+        let p = RetryPolicy::compat(&plan, 7);
+        for attempt in 1..10 {
+            assert_eq!(p.backoff_ms(99, attempt), 45_000);
+            assert!(p.allows(attempt));
+        }
+    }
+
+    #[test]
+    fn live_backoff_grows_caps_and_respects_the_budget() {
+        let p = RetryPolicy::live(42);
+        let d1 = p.backoff_ms(1, 1);
+        let d2 = p.backoff_ms(1, 2);
+        let d3 = p.backoff_ms(1, 3);
+        // Exponential growth dominates the ±25% jitter.
+        assert!(d2 > d1, "{d2} <= {d1}");
+        assert!(d3 > d2, "{d3} <= {d2}");
+        // The cap bounds even absurd attempt counts (with jitter up to
+        // +25% above the 120 s ceiling).
+        assert!(p.backoff_ms(1, 40) <= 150_000);
+        assert!(p.allows(4));
+        assert!(!p.allows(5));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_keyed_by_job_and_attempt() {
+        let p = RetryPolicy::live(42);
+        assert_eq!(p.backoff_ms(3, 1), p.backoff_ms(3, 1));
+        assert_ne!(p.backoff_ms(3, 1), p.backoff_ms(4, 1));
+        let reseeded = RetryPolicy { seed: 43, ..p };
+        assert_ne!(p.backoff_ms(3, 1), reseeded.backoff_ms(3, 1));
+    }
+}

@@ -1,0 +1,74 @@
+//! `fmig-loadgen` — replays the tiny-preset cell against a running
+//! daemon from N concurrent connections. Prints the deterministic flat
+//! accounting JSON on stdout and `WALL` / `REFS_PER_SEC` on stderr (so
+//! two runs of the same trace compare byte-identical on stdout).
+
+use std::process::ExitCode;
+
+use fmig_core::FaultScenarioId;
+use fmig_serve::loadgen::{run, tiny_cell, LoadgenConfig};
+
+const USAGE: &str = "usage: fmig-loadgen --addr HOST:PORT [--scenario NAME] \
+                     [--connections N] [--limit N] [--drain] [--stats] [--shutdown]";
+
+fn run_cli() -> Result<(), String> {
+    let mut cfg = LoadgenConfig {
+        addr: String::new(),
+        connections: 1,
+        limit: None,
+        drain: false,
+        stats: false,
+        shutdown: false,
+    };
+    let mut scenario = FaultScenarioId::None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr")?,
+            "--scenario" => {
+                let v = val("--scenario")?;
+                scenario = FaultScenarioId::parse(&v).ok_or(format!("unknown scenario `{v}`"))?;
+            }
+            "--connections" => {
+                cfg.connections = val("--connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?
+            }
+            "--limit" => {
+                cfg.limit = Some(
+                    val("--limit")?
+                        .parse()
+                        .map_err(|e| format!("bad --limit: {e}"))?,
+                )
+            }
+            "--drain" => cfg.drain = true,
+            "--stats" => cfg.stats = true,
+            "--shutdown" => cfg.shutdown = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    let setup = tiny_cell(scenario);
+    let report = run(&cfg, &setup)?;
+    println!("{}", report.accounting_json());
+    eprintln!("WALL {:.6}", report.wall_s);
+    eprintln!("REFS_PER_SEC {:.3}", report.refs_per_sec);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run_cli() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fmig-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

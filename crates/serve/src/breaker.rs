@@ -1,0 +1,165 @@
+//! Origin circuit breaker: sheds recall load when the origin is failing
+//! persistently instead of queueing unboundedly behind it.
+//!
+//! Classic three-state breaker over *virtual* time (the daemon's clock):
+//!
+//! * **Closed** — recalls flow; consecutive failures are counted.
+//! * **Open** — tripped after `threshold` consecutive failures. While
+//!   open the daemon serves resident data normally but bounds the
+//!   recall queue: new misses beyond the bound are shed with a
+//!   `Rejected(Shedding)` reply instead of joining a queue the origin
+//!   cannot drain (the degradation order documented in
+//!   `docs/architecture.md`).
+//! * **Half-open** — after `cooldown_ms` the next recall probes the
+//!   origin: success closes the breaker, failure re-opens it.
+//!
+//! In simulator-compat runs the breaker observes but never trips
+//! (`threshold == 0` disables it), keeping live replays oracle-exact.
+
+use fmig_sim::event::SimMs;
+
+/// Breaker state at a given instant (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Failures below threshold; recalls flow freely.
+    Closed,
+    /// Tripped: recall admission is queue-bounded / shedding.
+    Open,
+    /// Cooldown elapsed: the next recall is a probe.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker over virtual time.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker; `0` disables it.
+    threshold: u32,
+    /// Virtual ms the breaker stays open before probing.
+    cooldown_ms: SimMs,
+    consecutive_failures: u32,
+    /// `Some(t)` while tripped, holding the trip instant.
+    opened_at: Option<SimMs>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// probing again `cooldown_ms` later.
+    pub fn new(threshold: u32, cooldown_ms: SimMs) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown_ms,
+            consecutive_failures: 0,
+            opened_at: None,
+            trips: 0,
+        }
+    }
+
+    /// An observe-only breaker that never trips (simulator-compat mode).
+    pub fn disabled() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// The state at virtual time `now`.
+    pub fn state(&self, now: SimMs) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(t) if now >= t + self.cooldown_ms => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Whether recall admission is currently degraded (open or probing).
+    pub fn is_open(&self, now: SimMs) -> bool {
+        self.state(now) != BreakerState::Closed
+    }
+
+    /// Records a recall failure at virtual time `now`.
+    pub fn record_failure(&mut self, now: SimMs) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let tripped = self.threshold > 0 && self.consecutive_failures >= self.threshold;
+        // A failed half-open probe re-opens from the probe instant.
+        let probe_failed = self.opened_at.is_some() && self.state(now) == BreakerState::HalfOpen;
+        if (tripped && self.opened_at.is_none()) || probe_failed {
+            self.opened_at = Some(now);
+            self.trips += 1;
+        }
+    }
+
+    /// Records a recall success: closes the breaker and resets the
+    /// failure streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// How many times the breaker has tripped (including re-opens).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+/// The shed decision of the degraded mode: a non-resident read is shed
+/// when the breaker is open and the bounded recall queue is full.
+/// Resident reads (and all writes) are always served — that is the
+/// "serve-stale" half of the degradation.
+pub fn should_shed(
+    resident: bool,
+    breaker_open: bool,
+    inflight_recalls: usize,
+    bound: usize,
+) -> bool {
+    !resident && breaker_open && inflight_recalls >= bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_probes_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        b.record_failure(10);
+        b.record_failure(20);
+        assert_eq!(b.state(20), BreakerState::Closed);
+        b.record_failure(30);
+        assert_eq!(b.state(30), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.state(1_029), BreakerState::Open);
+        assert_eq!(b.state(1_030), BreakerState::HalfOpen);
+        // Failed probe re-opens from the probe instant.
+        b.record_failure(1_050);
+        assert_eq!(b.state(1_051), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Successful probe closes and resets the streak.
+        b.record_success();
+        assert_eq!(b.state(9_999), BreakerState::Closed);
+        b.record_failure(10_000);
+        b.record_failure(10_001);
+        assert_eq!(b.state(10_001), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = CircuitBreaker::disabled();
+        for t in 0..100 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(100), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn shedding_requires_open_breaker_full_queue_and_a_miss() {
+        assert!(should_shed(false, true, 8, 8));
+        assert!(
+            !should_shed(true, true, 8, 8),
+            "resident reads always serve"
+        );
+        assert!(
+            !should_shed(false, false, 8, 8),
+            "closed breaker never sheds"
+        );
+        assert!(!should_shed(false, true, 7, 8), "queue below bound absorbs");
+    }
+}

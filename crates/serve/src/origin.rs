@@ -1,0 +1,163 @@
+//! `fmig-origin`: the "tape" server.
+//!
+//! Serves one daemon session over TCP. The daemon drives virtual time
+//! with [`Frame::Advance`] watermarks; between watermarks the origin
+//! sits idle, so the tape physics in [`crate::tape`] runs exactly as far
+//! as the daemon has observed its own clock. Chaos mode is a
+//! [`FaultScenarioId`] materialized into the same outage / read-error /
+//! slow-drive schedule the simulator would use for the handshake's seed
+//! and span — live chaos injection that stays oracle-comparable.
+//!
+//! Protocol (daemon → origin): `OriginHello`, then any interleaving of
+//! `Recall` / `Flush` enqueues and `Advance` watermarks; `Drain` asks
+//! for the degraded-mode counter report; `Shutdown` (or simply closing
+//! the connection) ends the session. Origin → daemon frames
+//! (`RecallFirstByte`, `RecallDone`, `RecallFailed`, `FlushDone`) are
+//! emitted only between an `Advance` and its `AdvanceDone`, except that
+//! `RecallFailed` is a blocking round-trip: the origin waits for the
+//! daemon's `RecallRetry` / `RecallAbandon` verdict before the engine
+//! proceeds.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use fmig_core::FaultScenarioId;
+use fmig_sim::config::SimConfig;
+use fmig_sim::fault::FaultSchedule;
+
+use crate::protocol::{Frame, ProtoError, PROTO_VERSION};
+use crate::tape::{OriginLink, RetryVerdict, TapeDes};
+
+/// The engine's frame channel over the daemon connection. Emitted
+/// frames ride the write buffer until the enclosing advance (or a
+/// blocking failure round-trip) flushes them.
+struct TcpLink<'a> {
+    reader: &'a mut BufReader<TcpStream>,
+    writer: &'a mut BufWriter<TcpStream>,
+}
+
+impl OriginLink for TcpLink<'_> {
+    fn emit(&mut self, frame: Frame) -> Result<(), ProtoError> {
+        frame.write_to(self.writer)
+    }
+
+    fn failed(
+        &mut self,
+        job: u64,
+        attempts: u32,
+        failed_vms: i64,
+        drive_free_vms: i64,
+    ) -> Result<RetryVerdict, ProtoError> {
+        Frame::RecallFailed {
+            job,
+            attempt: attempts,
+            failed_vms,
+            drive_free_vms,
+        }
+        .write_to(self.writer)?;
+        self.writer.flush()?;
+        match Frame::read_from(self.reader)? {
+            Frame::RecallRetry { job: j, rejoin_vms } if j == job => {
+                Ok(RetryVerdict::Retry { rejoin_vms })
+            }
+            Frame::RecallAbandon { job: j } if j == job => Ok(RetryVerdict::Abandon),
+            other => Err(ProtoError::Io(format!(
+                "expected retry verdict for job {job}, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Accepts one daemon session and serves it to completion.
+///
+/// Returns `Ok` on an orderly end (a `Shutdown` frame or the daemon
+/// closing the connection); protocol violations are errors.
+pub fn serve(listener: TcpListener) -> Result<(), String> {
+    let (stream, _peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: the daemon tells us the seed, chaos scenario, and the
+    // virtual-time span to materialize the fault schedule over.
+    let (seed, scenario, span) = match Frame::read_from(&mut reader) {
+        Ok(Frame::OriginHello {
+            version,
+            seed,
+            scenario,
+            span_start_vms,
+            span_end_vms,
+        }) => {
+            if version != PROTO_VERSION {
+                return Err(format!(
+                    "protocol version mismatch: daemon {version}, origin {PROTO_VERSION}"
+                ));
+            }
+            let scenario = *FaultScenarioId::ALL
+                .get(scenario as usize)
+                .ok_or_else(|| format!("unknown fault scenario index {scenario}"))?;
+            (seed, scenario, (span_start_vms, span_end_vms))
+        }
+        Ok(other) => return Err(format!("expected OriginHello, got {other:?}")),
+        Err(e) => return Err(format!("handshake: {e}")),
+    };
+    Frame::OriginHelloAck {
+        version: PROTO_VERSION,
+    }
+    .write_to(&mut writer)
+    .and_then(|()| writer.flush().map_err(ProtoError::from))
+    .map_err(|e| format!("handshake ack: {e}"))?;
+
+    let cfg = SimConfig::default().with_seed(seed);
+    let schedule = FaultSchedule::materialize(&scenario.plan(), seed, span.0, span.1);
+    let mut des = TapeDes::new(cfg, schedule);
+
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(f) => f,
+            // The daemon closing the socket is an orderly end.
+            Err(ProtoError::Io(_)) | Err(ProtoError::Truncated) => return Ok(()),
+            Err(e) => return Err(format!("read: {e}")),
+        };
+        match frame {
+            Frame::Recall {
+                job,
+                file: _,
+                seq,
+                size,
+                tier,
+                enter_vms,
+                deadline_vms,
+            } => des.enqueue_recall(job, seq, size, tier, enter_vms, deadline_vms),
+            Frame::Flush {
+                job,
+                file: _,
+                seq,
+                size,
+                tier,
+                ready_vms,
+            } => des.enqueue_flush(job, seq, size, tier, ready_vms),
+            Frame::Advance { until_vms } => {
+                let mut link = TcpLink {
+                    reader: &mut reader,
+                    writer: &mut writer,
+                };
+                des.advance(until_vms, &mut link)
+                    .map_err(|e| format!("advance to {until_vms}: {e}"))?;
+                Frame::AdvanceDone { now_vms: until_vms }
+                    .write_to(&mut writer)
+                    .and_then(|()| writer.flush().map_err(ProtoError::from))
+                    .map_err(|e| format!("advance ack: {e}"))?;
+            }
+            Frame::Drain => {
+                des.counters()
+                    .drain_frame()
+                    .write_to(&mut writer)
+                    .and_then(|()| writer.flush().map_err(ProtoError::from))
+                    .map_err(|e| format!("drain report: {e}"))?;
+            }
+            Frame::Shutdown => return Ok(()),
+            other => return Err(format!("unexpected frame from daemon: {other:?}")),
+        }
+    }
+}

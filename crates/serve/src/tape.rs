@@ -1,0 +1,811 @@
+//! The origin's tape-half discrete-event engine.
+//!
+//! This is the drive / robot-or-operator / seek / tape-mover /
+//! cartridge-append half of `fmig_sim::hierarchy`'s closed-loop engine,
+//! extracted so a separate *process* can run it: the daemon keeps the
+//! cache and the disk half, the origin keeps the tape physics, and the
+//! two stay causally consistent through the watermark protocol
+//! ([`crate::protocol::Frame::Advance`]).
+//!
+//! Every stage timing is the keyed counter-noise draw the simulator
+//! uses — a pure function of `(seed, job identity, stage)` via
+//! [`fmig_sim::noise`] — and the fault schedule's outage windows, media
+//! read errors, and slow-drive factors come from the same
+//! [`FaultSchedule`] materialization. A live run therefore replays the
+//! oracle's tape physics event for event; the only permitted divergence
+//! is tie-ordering of events that land on the same virtual millisecond,
+//! which the smoke test's ±15% p99 tolerance absorbs. Any physics
+//! change in `fmig_sim::hierarchy`'s tape path must be mirrored here
+//! (and vice versa).
+//!
+//! Failures block: when a recall attempt fails (media read error, or
+//! first byte past its deadline), [`OriginLink::failed`] synchronously
+//! asks the daemon for a [`RetryVerdict`] — the daemon owns the backoff
+//! policy and the retry budget; the origin owns the physics.
+
+use fmig_sim::config::SimConfig;
+use fmig_sim::event::{EventQueue, SimMs, MS};
+use fmig_sim::fault::{FaultSchedule, FaultTarget};
+use fmig_sim::noise;
+use fmig_sim::Pool;
+use fmig_trace::DeviceClass;
+
+use crate::protocol::{Frame, ProtoError, NO_DEADLINE};
+
+/// The daemon's verdict on a failed recall attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryVerdict {
+    /// Rejoin the drive queue at `rejoin_vms` (drive-free time plus the
+    /// daemon's backoff).
+    Retry {
+        /// Rejoin virtual time.
+        rejoin_vms: SimMs,
+    },
+    /// Budget or deadline exhausted: drop the job.
+    Abandon,
+}
+
+/// The engine's channel back to the daemon.
+pub trait OriginLink {
+    /// Emit an event frame (no reply expected; may be buffered until
+    /// the current advance completes).
+    fn emit(&mut self, frame: Frame) -> Result<(), ProtoError>;
+
+    /// Report a failed recall attempt and block for the daemon's
+    /// verdict. `attempts` counts failed attempts including this one.
+    fn failed(
+        &mut self,
+        job: u64,
+        attempts: u32,
+        failed_vms: SimMs,
+        drive_free_vms: SimMs,
+    ) -> Result<RetryVerdict, ProtoError>;
+}
+
+/// Degraded-mode accounting, reported in
+/// [`Frame::OriginDrainDone`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OriginCounters {
+    /// Outage windows that actually parked a unit.
+    pub outage_events: u64,
+    /// Queue wait attributed to outage overlap, seconds (the engine's
+    /// `DegradedOutcome::outage_wait_s` accumulation).
+    pub outage_wait_s: f64,
+    /// Transfers run inside a slow-drive window.
+    pub slow_transfers: u64,
+    /// Bytes landed by completed flush jobs.
+    pub flushed_bytes: u64,
+    /// Recalls completed successfully.
+    pub recalls_completed: u64,
+    /// Recall attempts that failed (read error or deadline).
+    pub read_failures: u64,
+}
+
+impl OriginCounters {
+    /// The drain-report frame for these counters.
+    pub fn drain_frame(&self) -> Frame {
+        Frame::OriginDrainDone {
+            outage_events: self.outage_events,
+            outage_wait_vms: (self.outage_wait_s * MS as f64) as i64,
+            slow_transfers: self.slow_transfers,
+            flushed_bytes: self.flushed_bytes,
+            recalls_completed: self.recalls_completed,
+            read_failures: self.read_failures,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TEv {
+    /// A job (re)enters its tape-drive queue: initial recall entry,
+    /// flush-ready, or post-backoff retry.
+    Join(usize),
+    MountDone(usize),
+    SeekDone(usize),
+    TransferDone(usize),
+    DriveFree(usize),
+    OutageStart(usize),
+    OutageEnd(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TJob {
+    kind: TKind,
+    device: DeviceClass,
+    write: bool,
+    size: u64,
+    queued_ms: SimMs,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TKind {
+    Recall {
+        /// Daemon-assigned wire job id.
+        id: u64,
+        /// Arrival-order recall sequence (noise + fault identity).
+        seq: u64,
+        /// Failed attempts so far.
+        attempts: u32,
+        /// This attempt was chosen to fail; surfaces at transfer end.
+        failing: bool,
+        /// First-byte deadline ([`NO_DEADLINE`] disables).
+        deadline_vms: SimMs,
+    },
+    Flush {
+        id: u64,
+        seq: u64,
+    },
+    OutageHold {
+        target: FaultTarget,
+        end_ms: SimMs,
+    },
+}
+
+/// The tape-half engine. Mirrors `fmig_sim::hierarchy::Engine`'s tape
+/// path stage for stage; see the module docs for the contract.
+pub struct TapeDes {
+    cfg: SimConfig,
+    schedule: FaultSchedule,
+    active: bool,
+    queue: EventQueue<TEv>,
+    jobs: Vec<TJob>,
+    silo: Pool,
+    manual: Pool,
+    robot: Pool,
+    operators: Pool,
+    tape_movers: Pool,
+    /// Bytes left on the mounted append cartridge `[silo, manual]`.
+    cart_remaining: [u64; 2],
+    counters: OriginCounters,
+}
+
+impl TapeDes {
+    /// Builds the engine and schedules the fault plan's outage windows.
+    pub fn new(cfg: SimConfig, schedule: FaultSchedule) -> Self {
+        let mut des = TapeDes {
+            active: schedule.is_active(),
+            queue: EventQueue::new(),
+            jobs: Vec::new(),
+            silo: Pool::new(cfg.silo_drives),
+            manual: Pool::new(cfg.manual_drives),
+            robot: Pool::new(cfg.robot_arms),
+            operators: Pool::new(cfg.operators),
+            tape_movers: Pool::new(cfg.tape_movers),
+            cart_remaining: [0, 0],
+            counters: OriginCounters::default(),
+            schedule,
+            cfg,
+        };
+        for w in 0..des.schedule.windows().len() {
+            des.queue
+                .push(des.schedule.windows()[w].start_ms, TEv::OutageStart(w));
+        }
+        des
+    }
+
+    /// Accounting so far.
+    pub fn counters(&self) -> OriginCounters {
+        self.counters
+    }
+
+    /// Events still queued (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A recall enters its drive queue at `enter_vms`.
+    pub fn enqueue_recall(
+        &mut self,
+        id: u64,
+        seq: u64,
+        size: u64,
+        tier: DeviceClass,
+        enter_vms: SimMs,
+        deadline_vms: SimMs,
+    ) {
+        let j = self.jobs.len();
+        self.jobs.push(TJob {
+            kind: TKind::Recall {
+                id,
+                seq,
+                attempts: 0,
+                failing: false,
+                deadline_vms,
+            },
+            device: tier,
+            write: false,
+            size,
+            queued_ms: enter_vms,
+        });
+        self.queue.push(enter_vms, TEv::Join(j));
+    }
+
+    /// A flush becomes ready to queue at `ready_vms`.
+    pub fn enqueue_flush(
+        &mut self,
+        id: u64,
+        seq: u64,
+        size: u64,
+        tier: DeviceClass,
+        ready_vms: SimMs,
+    ) {
+        let j = self.jobs.len();
+        self.jobs.push(TJob {
+            kind: TKind::Flush { id, seq },
+            device: tier,
+            write: true,
+            size,
+            queued_ms: ready_vms,
+        });
+        self.queue.push(ready_vms, TEv::Join(j));
+    }
+
+    /// Processes every event at or before `until_vms`, emitting frames
+    /// through `link` as jobs progress.
+    pub fn advance(
+        &mut self,
+        until_vms: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        while self.queue.peek_time().is_some_and(|t| t <= until_vms) {
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            self.handle(now, ev, link)?;
+        }
+        Ok(())
+    }
+
+    fn handle(
+        &mut self,
+        now: SimMs,
+        ev: TEv,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        match ev {
+            TEv::Join(j) => {
+                self.jobs[j].queued_ms = now;
+                self.join_tape_queue(j, now, link)
+            }
+            TEv::MountDone(j) => self.mount_done(j, now, link),
+            TEv::SeekDone(j) => self.seek_done(j, now, link),
+            TEv::TransferDone(j) => self.transfer_done(j, now, link),
+            TEv::DriveFree(j) => self.drive_free(j, now, link),
+            TEv::OutageStart(w) => self.outage_start(w, now, link),
+            TEv::OutageEnd(j) => self.outage_release(j, now, link),
+        }
+    }
+
+    /// A fault window opens: contend for one unit of the target pool
+    /// like any other job (a busy unit "fails" as it comes free).
+    fn outage_start(
+        &mut self,
+        w: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let window = self.schedule.windows()[w];
+        let j = self.jobs.len();
+        self.jobs.push(TJob {
+            kind: TKind::OutageHold {
+                target: window.target,
+                end_ms: window.end_ms,
+            },
+            device: window.target.tier(),
+            write: false,
+            size: 0,
+            queued_ms: now,
+        });
+        let granted = match window.target {
+            FaultTarget::SiloDrive => self.silo.acquire(j, now),
+            FaultTarget::ManualDrive => self.manual.acquire(j, now),
+            FaultTarget::RobotArm => self.robot.acquire(j, now),
+            FaultTarget::Operator => self.operators.acquire(j, now),
+        };
+        if granted {
+            self.hold_granted(j, now, link)?;
+        }
+        Ok(())
+    }
+
+    /// A hold job got its unit — at window start or later, after
+    /// queueing behind busy units. A window that already expired while
+    /// queued hands the unit straight back.
+    fn hold_granted(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let TKind::OutageHold { end_ms, .. } = self.jobs[j].kind else {
+            unreachable!("hold grant on a non-hold job");
+        };
+        if now >= end_ms {
+            return self.outage_release(j, now, link);
+        }
+        self.counters.outage_events += 1;
+        self.queue.push(end_ms, TEv::OutageEnd(j));
+        Ok(())
+    }
+
+    fn outage_release(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let TKind::OutageHold { target, .. } = self.jobs[j].kind else {
+            unreachable!("outage release on a non-hold job");
+        };
+        match target {
+            FaultTarget::SiloDrive => {
+                if let Some(n) = self.silo.release(now) {
+                    self.drive_granted(n, now, link)?;
+                }
+            }
+            FaultTarget::ManualDrive => {
+                if let Some(n) = self.manual.release(now) {
+                    self.drive_granted(n, now, link)?;
+                }
+            }
+            FaultTarget::RobotArm => {
+                if let Some(n) = self.robot.release(now) {
+                    self.mount_started(n, now, link)?;
+                }
+            }
+            FaultTarget::Operator => {
+                if let Some(n) = self.operators.release(now) {
+                    self.mount_started(n, now, link)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn join_tape_queue(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let granted = match self.jobs[j].device {
+            DeviceClass::TapeSilo => self.silo.acquire(j, now),
+            DeviceClass::TapeManual => self.manual.acquire(j, now),
+            DeviceClass::Disk => unreachable!("disk jobs never reach the origin"),
+        };
+        if granted {
+            self.drive_granted(j, now, link)?;
+        }
+        Ok(())
+    }
+
+    fn drive_granted(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let job = self.jobs[j];
+        if let TKind::OutageHold { .. } = job.kind {
+            return self.hold_granted(j, now, link);
+        }
+        self.attribute_outage_wait(job.device, job.queued_ms, now);
+        if job.write {
+            let slot = cart_slot(job.device);
+            if self.cart_remaining[slot] >= job.size {
+                // Append to the mounted cartridge: no mount, no seek.
+                if self.tape_movers.acquire(j, now) {
+                    self.mover_granted(j, now, link)?;
+                }
+                return Ok(());
+            }
+        }
+        // Reads mount the file's cartridge; writes mount a fresh append
+        // cartridge when the current one is full. Re-stamp the queue
+        // entry: the mounter queue is a separate attribution interval.
+        self.jobs[j].queued_ms = now;
+        let granted = match job.device {
+            DeviceClass::TapeSilo => self.robot.acquire(j, now),
+            DeviceClass::TapeManual => self.operators.acquire(j, now),
+            DeviceClass::Disk => unreachable!(),
+        };
+        if granted {
+            self.mount_started(j, now, link)?;
+        }
+        Ok(())
+    }
+
+    fn mount_started(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let job = self.jobs[j];
+        if let TKind::OutageHold { .. } = job.kind {
+            return self.hold_granted(j, now, link);
+        }
+        self.attribute_outage_wait(job.device, job.queued_ms, now);
+        let d = match job.device {
+            DeviceClass::TapeSilo => noise::jitter_ms(
+                self.cfg.seed,
+                self.noise_key(j, noise::STAGE_MOUNT),
+                self.cfg.robot_mount_s,
+                0.2,
+            ),
+            DeviceClass::TapeManual => noise::lognormal_ms(
+                self.cfg.seed,
+                self.noise_key(j, noise::STAGE_MOUNT),
+                self.cfg.operator_mount_median_s,
+                self.cfg.operator_mount_sigma,
+            ),
+            DeviceClass::Disk => unreachable!(),
+        };
+        self.queue.push(now + d, TEv::MountDone(j));
+        Ok(())
+    }
+
+    fn attribute_outage_wait(&mut self, tier: DeviceClass, queued_ms: SimMs, now: SimMs) {
+        if self.active {
+            let overlap = self.schedule.outage_overlap_ms(tier, queued_ms, now);
+            if overlap > 0 {
+                self.counters.outage_wait_s += overlap as f64 / MS as f64;
+            }
+        }
+    }
+
+    fn mount_done(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let job = self.jobs[j];
+        let next = match job.device {
+            DeviceClass::TapeSilo => self.robot.release(now),
+            DeviceClass::TapeManual => self.operators.release(now),
+            DeviceClass::Disk => unreachable!(),
+        };
+        if let Some(n) = next {
+            self.mount_started(n, now, link)?;
+        }
+        if job.write {
+            // Fresh append cartridge: position to start of tape.
+            self.cart_remaining[cart_slot(job.device)] = self.cfg.cartridge_bytes;
+            let d = noise::jitter_ms(
+                self.cfg.seed,
+                self.noise_key(j, noise::STAGE_SEEK),
+                3.0,
+                0.3,
+            );
+            self.queue.push(now + d, TEv::SeekDone(j));
+        } else {
+            let seek_s = noise::range(
+                self.cfg.seed,
+                self.noise_key(j, noise::STAGE_SEEK),
+                self.cfg.tape_seek_min_s,
+                self.cfg.tape_seek_max_s,
+            );
+            self.queue
+                .push(now + (seek_s * MS as f64) as SimMs, TEv::SeekDone(j));
+        }
+        Ok(())
+    }
+
+    fn seek_done(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        if self.tape_movers.acquire(j, now) {
+            self.mover_granted(j, now, link)?;
+        }
+        Ok(())
+    }
+
+    /// The transfer begins — the job's first byte, unless this recall
+    /// attempt is fated to fail (media read error, or first byte past
+    /// its deadline), in which case nobody is served and the failure
+    /// surfaces at transfer end, exactly like the engine.
+    fn mover_granted(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let job = self.jobs[j];
+        let first_byte = now;
+        match job.kind {
+            TKind::Recall {
+                id,
+                seq,
+                attempts,
+                deadline_vms,
+                ..
+            } => {
+                let fails = self.schedule.read_fails(seq, attempts)
+                    || (deadline_vms != NO_DEADLINE && first_byte > deadline_vms);
+                if fails {
+                    let TKind::Recall { failing, .. } = &mut self.jobs[j].kind else {
+                        unreachable!("job kind cannot change");
+                    };
+                    *failing = true;
+                } else {
+                    link.emit(Frame::RecallFirstByte {
+                        job: id,
+                        fb_vms: first_byte,
+                    })?;
+                }
+            }
+            TKind::Flush { .. } => {}
+            TKind::OutageHold { .. } => unreachable!("holds never reach a mover"),
+        }
+        let factor = self.schedule.rate_factor_at(job.device, first_byte);
+        if factor < 1.0 && self.active {
+            self.counters.slow_transfers += 1;
+        }
+        let rate = self.rate_of(job.device) * factor;
+        let jitter = 1.0
+            + noise::range(
+                self.cfg.seed,
+                self.noise_key(j, noise::STAGE_RATE),
+                -self.cfg.rate_jitter,
+                self.cfg.rate_jitter,
+            );
+        let xfer_ms = (job.size as f64 / (rate * jitter) * 1000.0) as SimMs;
+        self.queue
+            .push(first_byte + xfer_ms.max(1), TEv::TransferDone(j));
+        if job.write {
+            let slot = cart_slot(job.device);
+            self.cart_remaining[slot] = self.cart_remaining[slot].saturating_sub(job.size);
+        }
+        Ok(())
+    }
+
+    fn transfer_done(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let job = self.jobs[j];
+        if let Some(n) = self.tape_movers.release(now) {
+            self.mover_granted(n, now, link)?;
+        }
+        let unload = (self.cfg.tape_unload_s * MS as f64) as SimMs;
+        match job.kind {
+            TKind::Recall { id, failing, .. } => {
+                if failing {
+                    self.counters.read_failures += 1;
+                    let TKind::Recall {
+                        failing, attempts, ..
+                    } = &mut self.jobs[j].kind
+                    else {
+                        unreachable!("job kind cannot change");
+                    };
+                    *failing = false;
+                    *attempts += 1;
+                    let attempts_now = *attempts;
+                    // Drive unloads regardless of the verdict (the
+                    // engine pushes DriveFree before RetryReady).
+                    self.queue.push(now + unload, TEv::DriveFree(j));
+                    match link.failed(id, attempts_now, now, now + unload)? {
+                        RetryVerdict::Retry { rejoin_vms } => {
+                            self.queue.push(rejoin_vms.max(now + unload), TEv::Join(j));
+                        }
+                        RetryVerdict::Abandon => {}
+                    }
+                } else {
+                    self.counters.recalls_completed += 1;
+                    link.emit(Frame::RecallDone {
+                        job: id,
+                        done_vms: now,
+                    })?;
+                    self.queue.push(now + unload, TEv::DriveFree(j));
+                }
+            }
+            TKind::Flush { id, .. } => {
+                self.counters.flushed_bytes += job.size;
+                link.emit(Frame::FlushDone {
+                    job: id,
+                    done_vms: now,
+                    bytes: job.size,
+                })?;
+                self.queue.push(now + unload, TEv::DriveFree(j));
+            }
+            TKind::OutageHold { .. } => unreachable!("holds never transfer"),
+        }
+        Ok(())
+    }
+
+    fn drive_free(
+        &mut self,
+        j: usize,
+        now: SimMs,
+        link: &mut impl OriginLink,
+    ) -> Result<(), ProtoError> {
+        let next = match self.jobs[j].device {
+            DeviceClass::TapeSilo => self.silo.release(now),
+            DeviceClass::TapeManual => self.manual.release(now),
+            DeviceClass::Disk => unreachable!("disks have no unload"),
+        };
+        if let Some(n) = next {
+            self.drive_granted(n, now, link)?;
+        }
+        Ok(())
+    }
+
+    fn rate_of(&self, device: DeviceClass) -> f64 {
+        match device {
+            DeviceClass::Disk => self.cfg.disk_rate,
+            DeviceClass::TapeSilo => self.cfg.silo_rate,
+            DeviceClass::TapeManual => self.cfg.manual_rate,
+        }
+    }
+
+    fn noise_key(&self, j: usize, stage: u64) -> u64 {
+        match self.jobs[j].kind {
+            TKind::Recall { seq, attempts, .. } => noise::recall_key(seq, attempts, stage),
+            TKind::Flush { seq, .. } => noise::flush_key(seq, stage),
+            TKind::OutageHold { .. } => unreachable!("holds draw no noise"),
+        }
+    }
+}
+
+fn cart_slot(device: DeviceClass) -> usize {
+    match device {
+        DeviceClass::TapeSilo => 0,
+        DeviceClass::TapeManual => 1,
+        DeviceClass::Disk => unreachable!("disks have no cartridges"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmig_sim::FaultPlan;
+
+    struct MockLink {
+        frames: Vec<Frame>,
+        verdicts: Vec<RetryVerdict>,
+        failures: Vec<(u64, u32, SimMs, SimMs)>,
+    }
+
+    impl MockLink {
+        fn new(verdicts: Vec<RetryVerdict>) -> Self {
+            MockLink {
+                frames: Vec::new(),
+                verdicts,
+                failures: Vec::new(),
+            }
+        }
+    }
+
+    impl OriginLink for MockLink {
+        fn emit(&mut self, frame: Frame) -> Result<(), ProtoError> {
+            self.frames.push(frame);
+            Ok(())
+        }
+
+        fn failed(
+            &mut self,
+            job: u64,
+            attempts: u32,
+            failed_vms: SimMs,
+            drive_free_vms: SimMs,
+        ) -> Result<RetryVerdict, ProtoError> {
+            self.failures
+                .push((job, attempts, failed_vms, drive_free_vms));
+            Ok(self.verdicts.remove(0))
+        }
+    }
+
+    #[test]
+    fn a_silo_recall_reaches_first_byte_then_completes() {
+        let cfg = SimConfig::default().with_seed(7);
+        let mut des = TapeDes::new(cfg, FaultSchedule::none());
+        let mut link = MockLink::new(vec![]);
+        des.enqueue_recall(10, 0, 50_000_000, DeviceClass::TapeSilo, 1_000, NO_DEADLINE);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        assert_eq!(link.frames.len(), 2, "frames: {:?}", link.frames);
+        let (fb_vms, done_vms) = match (&link.frames[0], &link.frames[1]) {
+            (
+                Frame::RecallFirstByte { job: 10, fb_vms },
+                Frame::RecallDone { job: 10, done_vms },
+            ) => (*fb_vms, *done_vms),
+            other => panic!("unexpected frame sequence: {other:?}"),
+        };
+        // Mount (~7 s) plus seek (10–90 s) precede the first byte; the
+        // ~20 s transfer at ~2.4 MB/s precedes completion.
+        assert!(fb_vms >= 1_000 + 7_000, "first byte too early: {fb_vms}");
+        assert!(done_vms > fb_vms + 10_000);
+        assert_eq!(des.counters().recalls_completed, 1);
+        assert_eq!(des.pending(), 0, "drive-free must drain");
+    }
+
+    #[test]
+    fn appends_to_a_mounted_cartridge_skip_the_mount() {
+        let cfg = SimConfig::default().with_seed(7);
+        let mut des = TapeDes::new(cfg, FaultSchedule::none());
+        let mut link = MockLink::new(vec![]);
+        des.enqueue_flush(1, 0, 1_000_000, DeviceClass::TapeSilo, 0);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        let Frame::FlushDone {
+            done_vms: first, ..
+        } = link.frames[0]
+        else {
+            panic!("expected FlushDone");
+        };
+        // Second flush starts after the first fully unloaded, on a
+        // cartridge that is already mounted: no mount, no seek.
+        let start = first + 10_000;
+        des.enqueue_flush(2, 1, 1_000_000, DeviceClass::TapeSilo, start);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        let Frame::FlushDone {
+            done_vms: second, ..
+        } = link.frames[1]
+        else {
+            panic!("expected second FlushDone");
+        };
+        let first_latency = first;
+        let second_latency = second - start;
+        assert!(
+            second_latency < first_latency / 2,
+            "append should skip mount+seek: first {first_latency} ms, second {second_latency} ms"
+        );
+        assert_eq!(des.counters().flushed_bytes, 2_000_000);
+    }
+
+    #[test]
+    fn failed_attempts_ask_the_daemon_and_honor_the_verdict() {
+        // read_error_prob 1.0 with one allowed retry: attempt 0 always
+        // fails, attempt 1 always succeeds.
+        let plan = FaultPlan {
+            outages: vec![],
+            read_error_prob: 1.0,
+            max_read_retries: 1,
+            retry_backoff_s: 45.0,
+            slow_drive: None,
+        };
+        let schedule = FaultSchedule::materialize(&plan, 7, 0, 1 << 40);
+        let cfg = SimConfig::default().with_seed(7);
+
+        // Verdict: retry → the recall eventually completes.
+        let mut des = TapeDes::new(cfg.clone(), schedule.clone());
+        let mut link = MockLink::new(vec![RetryVerdict::Retry { rejoin_vms: 0 }]);
+        des.enqueue_recall(5, 0, 1_000_000, DeviceClass::TapeSilo, 0, NO_DEADLINE);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        assert_eq!(link.failures.len(), 1);
+        let (job, attempts, failed_vms, drive_free_vms) = link.failures[0];
+        assert_eq!((job, attempts), (5, 1));
+        assert_eq!(drive_free_vms - failed_vms, 5_000, "unload precedes rejoin");
+        assert_eq!(des.counters().read_failures, 1);
+        assert_eq!(des.counters().recalls_completed, 1);
+        assert!(matches!(
+            link.frames.last(),
+            Some(Frame::RecallDone { job: 5, .. })
+        ));
+
+        // Verdict: abandon → no further frames, drive still freed.
+        let mut des = TapeDes::new(cfg, schedule);
+        let mut link = MockLink::new(vec![RetryVerdict::Abandon]);
+        des.enqueue_recall(6, 0, 1_000_000, DeviceClass::TapeSilo, 0, NO_DEADLINE);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        assert_eq!(des.counters().recalls_completed, 0);
+        assert!(link.frames.is_empty());
+        assert_eq!(des.pending(), 0);
+        assert_eq!(des.silo.in_use(), 0, "abandon must still free the drive");
+    }
+
+    #[test]
+    fn a_deadline_in_the_past_fails_the_attempt() {
+        let cfg = SimConfig::default().with_seed(7);
+        let mut des = TapeDes::new(cfg, FaultSchedule::none());
+        // Deadline 1 ms after entry: mount+seek always overshoot it.
+        let mut link = MockLink::new(vec![RetryVerdict::Abandon]);
+        des.enqueue_recall(9, 0, 1_000_000, DeviceClass::TapeSilo, 0, 1);
+        des.advance(SimMs::MAX / 4, &mut link).unwrap();
+        assert_eq!(link.failures.len(), 1);
+        assert_eq!(des.counters().read_failures, 1);
+        assert_eq!(des.counters().recalls_completed, 0);
+    }
+}

@@ -84,6 +84,16 @@ pub struct SimConfig {
     /// instead of issuing an independent fetch per reference. On by
     /// default; turning it off is the ablation baseline.
     pub recall_coalescing: bool,
+    /// Closed-loop hierarchy engine only: draw every timing noise value
+    /// from the keyed, counter-free hashes in [`crate::noise`] instead
+    /// of the shared RNG stream, and assign recall sequence numbers in
+    /// *arrival* order instead of dispatch order. Off by default — the
+    /// legacy stream stays bit-identical for existing fixtures. Turned
+    /// on, a run's per-job physics become a pure function of
+    /// `(seed, job identity, stage)`, which is what lets the live
+    /// daemon/origin service (`fmig-serve`) reproduce the engine's
+    /// delays exactly and be validated against it as an oracle.
+    pub counter_noise: bool,
 }
 
 impl Default for SimConfig {
@@ -114,6 +124,7 @@ impl Default for SimConfig {
             error_latency_median_s: 2.0,
             writeback_delay_s: 30.0,
             recall_coalescing: true,
+            counter_noise: false,
         }
     }
 }
@@ -130,6 +141,16 @@ impl SimConfig {
     /// one RNG stream.
     pub fn with_seed(self, seed: u64) -> Self {
         SimConfig { seed, ..self }
+    }
+
+    /// The same hardware with [`Self::counter_noise`] switched: keyed
+    /// replayable timing draws on `true`, the legacy shared RNG stream
+    /// on `false`.
+    pub fn with_counter_noise(self, counter_noise: bool) -> Self {
+        SimConfig {
+            counter_noise,
+            ..self
+        }
     }
 
     /// Hardware scaled down with a workload's `scale` so per-resource

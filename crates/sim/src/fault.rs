@@ -32,6 +32,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::event::{SimMs, MS};
 
+/// How long after the last arrival materialized fault windows may still
+/// begin: the queues keep draining past the final reference, and an
+/// outage or slow window during the drain is as real as one during it.
+/// Shared between the closed-loop engine and the live origin server so
+/// both materialize schedules over the identical horizon.
+pub const FAULT_HORIZON_SLACK_MS: SimMs = 4 * 3600 * MS;
+
 /// A resource class a fault clause can take units away from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultTarget {

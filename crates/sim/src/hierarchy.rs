@@ -67,10 +67,7 @@ use crate::metrics::{LatencyHistogram, Utilisation};
 use crate::pool::Pool;
 use crate::sim::standard_normal;
 
-/// How long after the last arrival materialized fault windows may still
-/// begin: the queues keep draining past the final reference, and an
-/// outage or slow window during the drain is as real as one during it.
-const FAULT_HORIZON_SLACK_MS: SimMs = 4 * 3600 * MS;
+pub use crate::fault::FAULT_HORIZON_SLACK_MS;
 
 /// How one reference reached its first byte in the closed loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -149,6 +146,14 @@ pub struct HierarchyMetrics {
     /// [`FaultPlan`]; `None` on fault-free runs, keeping them
     /// bit-identical to the pre-fault engine.
     pub fault: Option<DegradedOutcome>,
+    /// The cache's own count of failed recall attempts
+    /// (`DiskCache::fetch_retries`). Equal to
+    /// [`DegradedOutcome::read_retries`] here — the engine fails a
+    /// fetch exactly when a tape read errors — but surfaced separately
+    /// because the live daemon shares this counter: its retries show up
+    /// through the identical cache-level channel, not a simulator-only
+    /// field.
+    pub cache_fetch_retries: u64,
 }
 
 impl HierarchyMetrics {
@@ -168,6 +173,7 @@ impl HierarchyMetrics {
             cache: CacheStats::default(),
             latency_feedback: LatencyFeedback::new(),
             fault: None,
+            cache_fetch_retries: 0,
         }
     }
 
@@ -383,8 +389,10 @@ enum JobKind {
         /// transfer start, consumed and cleared at transfer end.
         failing: bool,
     },
-    /// Background tape flush; `gated` is the reference stalled on it.
-    Flush { gated: Option<usize> },
+    /// Background tape flush; `gated` is the reference stalled on it,
+    /// `seq` the flush's spawn-order sequence number (the identity its
+    /// counter-noise timing draws are keyed by).
+    Flush { gated: Option<usize>, seq: u64 },
     /// Fault injection: hold one unit of `target`'s pool until `end_ms`
     /// (a failed drive, a robot under repair, an operator off shift).
     OutageHold { target: FaultTarget, end_ms: SimMs },
@@ -405,6 +413,11 @@ struct RefState {
     gate: u32,
     /// MSCP dispatch finished while gated; start when the gate clears.
     ready: bool,
+    /// Counter-noise mode only: the recall sequence number assigned at
+    /// *arrival* for `Recall`-served references, so a distributed
+    /// replica that classifies in trace order assigns the same
+    /// identities. Legacy mode assigns at dispatch and ignores this.
+    recall_seq: u64,
 }
 
 /// An in-flight recall that references may coalesce onto.
@@ -439,6 +452,8 @@ struct Engine<'a, 'p> {
     feedback: LatencyFeedback,
     /// Reusable buffer for cache side effects.
     ops: Vec<CacheOp>,
+    /// Counter-noise mode: next arrival-order recall sequence number.
+    next_recall_seq: u64,
     next_emit: usize,
     spindles: Vec<Pool>,
     silo: Pool,
@@ -474,6 +489,7 @@ impl<'a, 'p> Engine<'a, 'p> {
             file_tape: Vec::new(),
             feedback: LatencyFeedback::new(),
             ops: Vec::new(),
+            next_recall_seq: 0,
             next_emit: 0,
             spindles: vec![Pool::new(1); cfg.disk_spindles.max(1)],
             silo: Pool::new(cfg.silo_drives),
@@ -518,6 +534,7 @@ impl<'a, 'p> Engine<'a, 'p> {
 
         self.metrics.requests = self.states.len() as u64;
         self.metrics.cache = *self.cache.stats();
+        self.metrics.cache_fetch_retries = self.cache.fetch_retries();
         self.metrics.latency_feedback = self.feedback.clone();
         self.metrics.fault = self.fault;
         let span = (
@@ -601,6 +618,16 @@ impl<'a, 'p> Engine<'a, 'p> {
             ServedBy::DelayedHit | ServedBy::Recall => tape,
         };
         debug_assert_eq!(i, self.states.len());
+        // Counter-noise mode fixes the recall's identity here, in
+        // arrival order — classification order is what a distributed
+        // replica can reproduce; legacy dispatch order depends on the
+        // lognormal overhead draws.
+        let recall_seq = if self.cfg.counter_noise && served == ServedBy::Recall {
+            self.next_recall_seq += 1;
+            self.next_recall_seq - 1
+        } else {
+            0
+        };
         self.states.push(RefState {
             arrival_ms: t_ms,
             first_byte_ms: t_ms,
@@ -612,6 +639,7 @@ impl<'a, 'p> Engine<'a, 'p> {
             done: false,
             gate: 0,
             ready: false,
+            recall_seq,
         });
 
         // Cache side effects become tape traffic.
@@ -642,10 +670,19 @@ impl<'a, 'p> Engine<'a, 'p> {
 
         match served {
             ServedBy::DiskHit | ServedBy::DiskWrite | ServedBy::Recall => {
-                let d = self.lognormal_ms(
-                    self.cfg.mscp_overhead_median_s,
-                    self.cfg.mscp_overhead_sigma,
-                );
+                let d = if self.cfg.counter_noise {
+                    crate::noise::lognormal_ms(
+                        self.cfg.seed,
+                        crate::noise::dispatch_key(i as u64),
+                        self.cfg.mscp_overhead_median_s,
+                        self.cfg.mscp_overhead_sigma,
+                    )
+                } else {
+                    self.lognormal_ms(
+                        self.cfg.mscp_overhead_median_s,
+                        self.cfg.mscp_overhead_sigma,
+                    )
+                };
                 self.queue.push(t_ms + d, HEv::Dispatch(i));
                 if served == ServedBy::Recall && self.cfg.recall_coalescing {
                     self.outstanding[pr.id.index()] = Some(OutstandingRecall::default());
@@ -675,7 +712,12 @@ impl<'a, 'p> Engine<'a, 'p> {
             .unwrap_or(DeviceClass::TapeSilo);
         let j = self.jobs.len();
         self.jobs.push(Job {
-            kind: JobKind::Flush { gated },
+            kind: JobKind::Flush {
+                gated,
+                // Spawn order is classification order, which both the
+                // legacy engine and a trace-order replica agree on.
+                seq: self.metrics.flush_jobs,
+            },
             device: tape,
             write: true,
             size: bytes,
@@ -805,7 +847,13 @@ impl<'a, 'p> Engine<'a, 'p> {
                         r,
                         // The issue-order sequence number keys the fault
                         // schedule's counter-based read-error decisions.
-                        seq: self.metrics.recalls,
+                        // Counter-noise mode pinned it at arrival;
+                        // legacy issues it here, in dispatch order.
+                        seq: if self.cfg.counter_noise {
+                            self.states[r].recall_seq
+                        } else {
+                            self.metrics.recalls
+                        },
                         attempt: 0,
                         failing: false,
                     },
@@ -916,13 +964,25 @@ impl<'a, 'p> Engine<'a, 'p> {
             return;
         }
         self.attribute_outage_wait(self.jobs[j].device, self.jobs[j].queued_ms, now);
-        let d = match self.jobs[j].device {
-            DeviceClass::TapeSilo => self.jitter_ms(self.cfg.robot_mount_s, 0.2),
-            DeviceClass::TapeManual => self.lognormal_ms(
+        let d = match (self.jobs[j].device, self.cfg.counter_noise) {
+            (DeviceClass::TapeSilo, false) => self.jitter_ms(self.cfg.robot_mount_s, 0.2),
+            (DeviceClass::TapeSilo, true) => crate::noise::jitter_ms(
+                self.cfg.seed,
+                self.noise_key(j, crate::noise::STAGE_MOUNT),
+                self.cfg.robot_mount_s,
+                0.2,
+            ),
+            (DeviceClass::TapeManual, false) => self.lognormal_ms(
                 self.cfg.operator_mount_median_s,
                 self.cfg.operator_mount_sigma,
             ),
-            DeviceClass::Disk => unreachable!(),
+            (DeviceClass::TapeManual, true) => crate::noise::lognormal_ms(
+                self.cfg.seed,
+                self.noise_key(j, crate::noise::STAGE_MOUNT),
+                self.cfg.operator_mount_median_s,
+                self.cfg.operator_mount_sigma,
+            ),
+            (DeviceClass::Disk, _) => unreachable!(),
         };
         self.queue.push(now + d, HEv::MountDone(j));
     }
@@ -952,12 +1012,29 @@ impl<'a, 'p> Engine<'a, 'p> {
         if job.write {
             // Fresh append cartridge: position to start of tape.
             self.cart_remaining[cart_slot(job.device)] = self.cfg.cartridge_bytes;
-            let d = self.jitter_ms(3.0, 0.3);
+            let d = if self.cfg.counter_noise {
+                crate::noise::jitter_ms(
+                    self.cfg.seed,
+                    self.noise_key(j, crate::noise::STAGE_SEEK),
+                    3.0,
+                    0.3,
+                )
+            } else {
+                self.jitter_ms(3.0, 0.3)
+            };
             self.queue.push(now + d, HEv::SeekDone(j));
         } else {
-            let seek_s = self
-                .rng
-                .gen_range(self.cfg.tape_seek_min_s..self.cfg.tape_seek_max_s);
+            let seek_s = if self.cfg.counter_noise {
+                crate::noise::range(
+                    self.cfg.seed,
+                    self.noise_key(j, crate::noise::STAGE_SEEK),
+                    self.cfg.tape_seek_min_s,
+                    self.cfg.tape_seek_max_s,
+                )
+            } else {
+                self.rng
+                    .gen_range(self.cfg.tape_seek_min_s..self.cfg.tape_seek_max_s)
+            };
             self.queue
                 .push(now + (seek_s * MS as f64) as SimMs, HEv::SeekDone(j));
         }
@@ -1024,9 +1101,17 @@ impl<'a, 'p> Engine<'a, 'p> {
         }
         let rate = self.rate_of(job.device) * factor;
         let jitter = 1.0
-            + self
-                .rng
-                .gen_range(-self.cfg.rate_jitter..self.cfg.rate_jitter);
+            + if self.cfg.counter_noise {
+                crate::noise::range(
+                    self.cfg.seed,
+                    self.noise_key(j, crate::noise::STAGE_RATE),
+                    -self.cfg.rate_jitter,
+                    self.cfg.rate_jitter,
+                )
+            } else {
+                self.rng
+                    .gen_range(-self.cfg.rate_jitter..self.cfg.rate_jitter)
+            };
         let xfer_ms = (job.size as f64 / (rate * jitter) * 1000.0) as SimMs;
         self.queue
             .push(first_byte + xfer_ms.max(1), HEv::TransferDone(j));
@@ -1092,7 +1177,7 @@ impl<'a, 'p> Engine<'a, 'p> {
                     self.queue.push(now + d, HEv::DriveFree(j));
                 }
             }
-            JobKind::Flush { gated } => {
+            JobKind::Flush { gated, .. } => {
                 if let Some(r) = gated {
                     self.states[r].gate -= 1;
                     if self.states[r].gate == 0 && self.states[r].ready {
@@ -1150,6 +1235,18 @@ impl<'a, 'p> Engine<'a, 'p> {
             DeviceClass::Disk => self.cfg.disk_rate,
             DeviceClass::TapeSilo => self.cfg.silo_rate,
             DeviceClass::TapeManual => self.cfg.manual_rate,
+        }
+    }
+
+    /// The counter-noise identity key of job `j`'s draw at `stage`:
+    /// recalls by (issue seq, attempt), flushes by spawn seq, disk jobs
+    /// by the reference they serve.
+    fn noise_key(&self, j: usize, stage: u64) -> u64 {
+        match self.jobs[j].kind {
+            JobKind::Disk { r } => crate::noise::disk_key(r as u64, stage),
+            JobKind::Recall { seq, attempt, .. } => crate::noise::recall_key(seq, attempt, stage),
+            JobKind::Flush { seq, .. } => crate::noise::flush_key(seq, stage),
+            JobKind::OutageHold { .. } => unreachable!("holds draw no noise"),
         }
     }
 
@@ -1499,6 +1596,36 @@ mod tests {
         assert!(plain.fault.is_none());
     }
 
+    /// Counter-noise mode replaces every timing draw but must never
+    /// move a cache decision: for a latency-blind policy the cache
+    /// counters match the legacy stream bit for bit (timing shifts,
+    /// decisions do not), runs replay deterministically, and the
+    /// faults-move-time-not-decisions invariant carries over.
+    #[test]
+    fn counter_noise_mode_preserves_cache_decisions() {
+        let prepared = skewed_prepared();
+        let lru = Lru;
+        let cfg = SimConfig::default().with_seed(21);
+        let legacy =
+            HierarchySimulator::new(cfg.clone()).run(cache_cfg(5_000_000), &lru, prepared.refs());
+        let keyed_sim = HierarchySimulator::new(cfg.with_counter_noise(true));
+        let keyed = keyed_sim.run(cache_cfg(5_000_000), &lru, prepared.refs());
+        let replay = keyed_sim.run(cache_cfg(5_000_000), &lru, prepared.refs());
+        assert_eq!(keyed, replay, "counter-noise runs replay identically");
+        assert_eq!(legacy.cache, keyed.cache, "decisions must not move");
+        assert_eq!(legacy.requests, keyed.requests);
+        assert!(keyed.read_wait().count() > 0);
+
+        let plan = flaky_reads(0.4, 2, 30.0);
+        let degraded =
+            keyed_sim.run_with_faults(cache_cfg(5_000_000), &lru, prepared.refs(), &plan);
+        assert_eq!(
+            degraded.cache, keyed.cache,
+            "faults move time, never decisions — in keyed mode too"
+        );
+        assert!(degraded.fault.expect("active plan").read_retries > 0);
+    }
+
     #[test]
     fn read_errors_retry_with_backoff_and_eventually_serve() {
         let prepared = skewed_prepared();
@@ -1518,6 +1645,12 @@ mod tests {
         assert_eq!(outcomes.len(), prepared.len());
         let fault = degraded.fault.expect("fault metrics recorded");
         assert!(fault.read_retries > 0, "a 50% error rate must retry");
+        // The cache-level retry counter is the same number: the engine
+        // fails a fetch exactly when a tape read errors, so the live
+        // daemon's `fetch_retries` channel agrees with the simulated
+        // attribution.
+        assert_eq!(degraded.cache_fetch_retries, fault.read_retries);
+        assert_eq!(healthy.cache_fetch_retries, 0);
         // Faults move time, never cache decisions: counters identical.
         assert_eq!(healthy.cache, degraded.cache);
         // Longer-lived recalls absorb more re-misses by coalescing, so

@@ -38,6 +38,7 @@ pub mod event;
 pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
+pub mod noise;
 pub mod pool;
 pub mod sim;
 pub mod striping;

@@ -171,6 +171,62 @@ fn degraded_measurements_feed_the_availability_report() {
     assert_eq!(winner.name(), expected, "winner column diverged from rows");
 }
 
+#[test]
+fn retry_counters_pin_the_failed_retried_completed_recall_path() {
+    use fmig_migrate::cache::{CacheConfig, DiskCache, ReadResult};
+    use fmig_migrate::policy::Lru;
+
+    // Cache level: a recall that fails twice before completing bumps
+    // the retry counter on every failure — and ONLY that counter. The
+    // CacheStats block stays byte-identical to the healthy twin where
+    // the same recall completes first try, which is the invariant the
+    // fault sweeps above pin at matrix level (faults move time, never
+    // decisions) and the live daemon relies on when it reports retries
+    // next to oracle-exact miss ratios.
+    let lru = Lru;
+    let mut degraded = DiskCache::new(CacheConfig::with_capacity(1 << 30), &lru);
+    let mut healthy = DiskCache::new(CacheConfig::with_capacity(1 << 30), &lru);
+    for (cache, failures) in [(&mut healthy, 0), (&mut degraded, 2)] {
+        assert_eq!(
+            cache.read_with(7, 1 << 20, 100, None, &mut |_| {}),
+            ReadResult::Miss
+        );
+        for _ in 0..failures {
+            assert!(cache.fetch_failed(7), "failure re-arms the fetch");
+        }
+        assert!(cache.fetch_complete(7));
+        assert_eq!(
+            cache.read_with(7, 1 << 20, 200, None, &mut |_| {}),
+            ReadResult::Hit
+        );
+    }
+    assert_eq!(degraded.fetch_retries(), 2);
+    assert_eq!(healthy.fetch_retries(), 0);
+    assert_eq!(
+        healthy.stats(),
+        degraded.stats(),
+        "retries must never leak into CacheStats"
+    );
+
+    // Engine level: the closed-loop simulator's degraded attribution
+    // and the cache-level counter are the same number — the engine
+    // fails a fetch exactly when a tape read errors — so a live run
+    // surfacing `fetch_retries` feeds AvailabilityReport rows that
+    // agree with simulated `DegradedOutcome::read_retries`.
+    let mut config = fault_matrix();
+    config.presets = vec![PresetId::Ncar];
+    config.faults = vec![FaultScenarioId::FlakyReads];
+    config.latency = true;
+    let report = run_sweep(&config);
+    let mut saw_retries = false;
+    for cell in &report.shards[0].cells {
+        let lat = cell.latency.expect("latency mode measures every cell");
+        let d = lat.degraded.expect("flaky cells carry attribution");
+        saw_retries |= d.read_retries > 0;
+    }
+    assert!(saw_retries, "flaky-reads matrix must exercise retries");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
     /// Satellite acceptance: same seed ⇒ byte-identical fault report;
