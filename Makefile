@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track bench-scaling service-smoke clean
+.PHONY: ci build test test-matrix fmt lint bench doc docs examples bench-track bench-scaling service-smoke ingest-smoke clean
 
-ci: build test test-matrix fmt lint bench docs examples bench-track bench-scaling service-smoke
+ci: build test test-matrix fmt lint bench docs examples bench-track bench-scaling service-smoke ingest-smoke
 
 build:
 	$(CARGO) build --release --workspace --all-targets
@@ -71,6 +71,15 @@ bench-scaling:
 service-smoke:
 	$(CARGO) build --release -p fmig-serve -p fmig-bench
 	$(CARGO) run --release -p fmig-bench --bin repro -- service-smoke --bench BENCH_sweep.json
+
+# The trace-ingestion gate: imports the pinned fixture of every external
+# format (tests/fixtures/ingest/), holds each import to its pinned
+# manifest/census stats, replays one imported sweep cell at two worker
+# counts (byte-identical or fail), and records the import throughput as
+# ingest_refs_per_sec in the artifact (report-only — not gated; parsing
+# throughput shifts with runner generations).
+ingest-smoke:
+	$(CARGO) run --release -p fmig-bench --bin repro -- ingest-smoke --bench BENCH_sweep.json
 
 clean:
 	$(CARGO) clean

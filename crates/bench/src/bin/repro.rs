@@ -18,6 +18,8 @@
 //! generations.
 
 use std::collections::HashMap;
+use std::io::{BufReader, Cursor, Write as _};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -27,7 +29,9 @@ use fmig_core::{
 use fmig_migrate::cache::{CacheConfig, DiskCache, EvictionMode};
 use fmig_migrate::eval::{EvalConfig, TracePrep};
 use fmig_migrate::policy::{Lru, Stp};
-use fmig_workload::Workload;
+use fmig_trace::ingest::store::{import, ImportReport, StoreReader};
+use fmig_trace::{FormatId, IngestConfig, Sampler, TraceStats};
+use fmig_workload::{PaperTargets, Workload};
 
 struct Args {
     scale: f64,
@@ -75,6 +79,11 @@ fn usage() -> String {
         "usage: repro [--scale S] [--seed N] [--no-sim] <experiment>|all|list\n\
          \x20      repro sweep [--preset tiny|small|large|huge] [--workers N] [--seed N]\n\
          \x20                  [--latency] [--scaling] [--faults S1,S2,...] [--out PATH]\n\
+         \x20      repro sweep --trace STORE_DIR [--workers N] [--seed N] [--out PATH]\n\
+         \x20      repro ingest --format msr|clf|ibm-kv --input PATH --out STORE_DIR\n\
+         \x20                  [--sample K/M] [--sample-seed N] [--error-budget N]\n\
+         \x20      repro ingest-gen --out PATH [--records N] [--files N]\n\
+         \x20      repro ingest-smoke [--bench PATH]\n\
          \x20      repro service-smoke [--bench PATH]\n\
          experiments: {}\n\
          fault scenarios: {}\n",
@@ -110,16 +119,22 @@ fn usage() -> String {
 /// `scaling_large_refs_per_sec` big-trace throughput score.
 fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let mut preset = "tiny".to_string();
+    let mut preset_set = false;
     let mut workers = 0usize;
     let mut seed: Option<u64> = None;
     let mut latency = false;
     let mut scaling = false;
     let mut faults: Option<Vec<FaultScenarioId>> = None;
-    let mut out = "BENCH_sweep.json".to_string();
+    let mut trace: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--preset" => preset = it.next().ok_or("--preset needs a value")?.clone(),
+            "--preset" => {
+                preset = it.next().ok_or("--preset needs a value")?.clone();
+                preset_set = true;
+            }
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a store dir")?.clone()),
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
@@ -141,10 +156,26 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
                     .collect();
                 faults = Some(parsed?);
             }
-            "--out" => out = it.next().ok_or("--out needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
             other => return Err(format!("unknown sweep flag `{other}`")),
         }
     }
+    if let Some(dir) = trace {
+        if preset_set || latency || scaling || faults.is_some() {
+            return Err(
+                "--trace replays an imported store open-loop; it takes no --preset, \
+                 --latency, --scaling, or --faults"
+                    .into(),
+            );
+        }
+        return run_trace_sweep(
+            &dir,
+            workers,
+            seed,
+            &out.unwrap_or_else(|| "SWEEP_trace.json".to_string()),
+        );
+    }
+    let out = out.unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let mut config = match preset.as_str() {
         "tiny" => SweepConfig::tiny(),
         "small" => SweepConfig::small(),
@@ -501,6 +532,497 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro sweep --trace`: replay an imported columnar store through the
+/// open-loop sweep matrix ([`SweepConfig::imported`]) and write the
+/// deterministic report JSON. The store is streamed chunk by chunk, so
+/// multi-GB traces replay under bounded memory; the report is
+/// byte-identical at any worker count, like every other sweep.
+fn run_trace_sweep(dir: &str, workers: usize, seed: Option<u64>, out: &str) -> Result<(), String> {
+    // Open once up front for a friendly error and the progress line;
+    // the runner re-opens per shard.
+    let store = StoreReader::open(Path::new(dir)).map_err(|e| format!("trace store {dir}: {e}"))?;
+    let manifest = store.manifest().clone();
+    let mut config = SweepConfig::imported(dir);
+    config.workers = workers;
+    if let Some(s) = seed {
+        config.base_seed = s;
+    }
+    eprintln!(
+        "trace sweep: {} records over {} files ({:.2} GB referenced), {} cells, workers {} (0 = auto)",
+        manifest.records,
+        manifest.files,
+        manifest.referenced_bytes as f64 / 1e9,
+        config.cell_count(),
+        config.workers,
+    );
+    let started = Instant::now();
+    let report = run_sweep(&config);
+    let wall_s = started.elapsed().as_secs_f64();
+    // One streaming store pass per policy covers the whole capacity grid.
+    let replayed = manifest.records as f64 * config.policies.len() as f64;
+    eprintln!(
+        "trace sweep done: {wall_s:.1} s ({:.0} replayed refs/s across {} policies)",
+        replayed / wall_s.max(1e-9),
+        config.policies.len(),
+    );
+    eprint!("{}", report.render());
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// `repro ingest`: stream an external-format trace into a columnar
+/// replay store and print the trace-stats verifier — the import tallies
+/// plus the measured-vs-paper delta table, so the first question about
+/// any real trace ("how far is this from the NCAR workload?") is
+/// answered at import time.
+fn run_ingest_command(args: &[String]) -> Result<(), String> {
+    let mut format: Option<FormatId> = None;
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut sample: Option<(u32, u32)> = None;
+    let mut sample_seed = 0u64;
+    let mut error_budget: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = Some(
+                    FormatId::parse(v)
+                        .ok_or_else(|| format!("unknown format `{v}` (msr|clf|ibm-kv)"))?,
+                );
+            }
+            "--input" => input = Some(it.next().ok_or("--input needs a path")?.clone()),
+            "--out" => out = Some(it.next().ok_or("--out needs a store dir")?.clone()),
+            "--sample" => {
+                let v = it.next().ok_or("--sample needs K/M")?;
+                let (k, m) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("--sample wants `K/M`, got `{v}`"))?;
+                let keep: u32 = k.parse().map_err(|e| format!("bad --sample: {e}"))?;
+                let out_of: u32 = m.parse().map_err(|e| format!("bad --sample: {e}"))?;
+                if keep == 0 || out_of == 0 || keep > out_of {
+                    return Err(format!("--sample wants 0 < K <= M, got {keep}/{out_of}"));
+                }
+                sample = Some((keep, out_of));
+            }
+            "--sample-seed" => {
+                let v = it.next().ok_or("--sample-seed needs a value")?;
+                sample_seed = v.parse().map_err(|e| format!("bad --sample-seed: {e}"))?;
+            }
+            "--error-budget" => {
+                let v = it.next().ok_or("--error-budget needs a value")?;
+                error_budget = Some(v.parse().map_err(|e| format!("bad --error-budget: {e}"))?);
+            }
+            other => return Err(format!("unknown ingest flag `{other}`")),
+        }
+    }
+    let format = format.ok_or("--format is required (msr|clf|ibm-kv)")?;
+    let input = input.ok_or("--input is required")?;
+    let out = out.ok_or("--out is required")?;
+    let mut config = IngestConfig::default();
+    if let Some(b) = error_budget {
+        config.error_budget = b;
+    }
+    if let Some((keep, out_of)) = sample {
+        config.sample = Some(Sampler::new(keep, out_of, sample_seed));
+    }
+    let file = std::fs::File::open(&input).map_err(|e| format!("opening {input}: {e}"))?;
+    let reader = BufReader::with_capacity(1 << 20, file);
+    let started = Instant::now();
+    let mut shown = 0u64;
+    let report = import(format, reader, config, Path::new(&out), |e| {
+        if shown < 10 {
+            eprintln!("ingest: {e}");
+        } else if shown == 10 {
+            eprintln!("ingest: further line diagnostics suppressed (totals below)");
+        }
+        shown += 1;
+    })
+    .map_err(|e| format!("import failed: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    print!(
+        "{}",
+        render_ingest_report(format, &input, &out, &report, secs)
+    );
+    Ok(())
+}
+
+/// The `repro ingest` verifier text: import tallies, store summary, and
+/// the measured-vs-paper delta rows in the sweep report's format.
+fn render_ingest_report(
+    format: FormatId,
+    input: &str,
+    out: &str,
+    report: &ImportReport,
+    secs: f64,
+) -> String {
+    let c = &report.counts;
+    let m = &report.manifest;
+    let window_days = (m.last - m.epoch).max(0) as f64 / 86_400.0;
+    let mut text = format!(
+        "imported {input} ({}) -> {out} in {secs:.1} s ({:.0} lines/s)\n\
+         \x20 lines {} records {} skipped {} parse-errors {} clamped {} sampled-out {}\n\
+         \x20 store: {} replayable records, {} files, {:.2} GB referenced, {:.1}-day window\n",
+        format.name(),
+        c.lines as f64 / secs.max(1e-9),
+        c.lines,
+        c.records,
+        c.skipped,
+        c.parse_errors,
+        c.clamped,
+        c.sampled_out,
+        m.records,
+        m.files,
+        m.referenced_bytes as f64 / 1e9,
+        window_days,
+    );
+    text.push_str(&paper_delta_table(&report.stats));
+    text
+}
+
+/// Measured-vs-paper rows for the shape claims computable from a
+/// single-pass [`TraceStats`] census, in the sweep report's row format.
+fn paper_delta_table(stats: &TraceStats) -> String {
+    let targets = PaperTargets::ncar();
+    let paper_byte_share = targets.gb_read / (targets.gb_read + targets.gb_written);
+    let rows = [
+        (
+            "read_share",
+            targets.read_share(),
+            stats.read_reference_share(),
+        ),
+        (
+            "error_fraction",
+            targets.error_fraction(),
+            stats.error_fraction(),
+        ),
+        ("read_byte_share", paper_byte_share, stats.read_byte_share()),
+    ];
+    let mut text = String::new();
+    for (metric, paper, measured) in rows {
+        text.push_str(&format!(
+            "  paper {metric:<28} {paper:>8.3} measured {measured:>8.3}\n"
+        ));
+    }
+    text
+}
+
+/// `repro ingest-gen`: write a synthetic MSR-format CSV trace big enough
+/// to exercise the ingest path at acceptance scale (defaults: 16 M
+/// records over 2^20 distinct extent-files, ≈1 GB of text). The stream
+/// is deterministic in its arguments, Zipf-skewed so cache fractions
+/// discriminate, and timestamp-ordered like the real extracts.
+fn run_ingest_gen_command(args: &[String]) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut records: u64 = 16_000_000;
+    let mut files: u64 = 1 << 20;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--records" => {
+                let v = it.next().ok_or("--records needs a value")?;
+                records = v.parse().map_err(|e| format!("bad --records: {e}"))?;
+            }
+            "--files" => {
+                let v = it.next().ok_or("--files needs a value")?;
+                files = v.parse().map_err(|e| format!("bad --files: {e}"))?;
+            }
+            other => return Err(format!("unknown ingest-gen flag `{other}`")),
+        }
+    }
+    let out = out.ok_or("--out is required")?;
+    if files == 0 || records == 0 {
+        return Err("--records and --files must be positive".into());
+    }
+    // File identity under the MSR mapping is (host, disk, 1 MiB extent);
+    // spread the requested count over 64 hosts × 4 disks.
+    const HOSTS: u64 = 64;
+    const DISKS: u64 = 4;
+    let extents = files.div_ceil(HOSTS * DISKS).max(1);
+    let file = std::fs::File::create(&out).map_err(|e| format!("creating {out}: {e}"))?;
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+    let mut write = |line: &str| -> Result<(), String> {
+        w.write_all(line.as_bytes())
+            .map_err(|e| format!("writing {out}: {e}"))
+    };
+    write("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n")?;
+    // FILETIME ticks for 2008-01-01T00:00:00Z, advancing ~0.2 s per
+    // record with sub-second jitter.
+    let mut ticks: u64 = (1_199_145_600 + 11_644_473_600) * 10_000_000;
+    let mut state = 0x4D53_5221_u64; // "MSR!"
+                                     // Xorshift for the stream, with a murmur-style finalizer: raw
+                                     // consecutive xorshift outputs are linearly related over GF(2), and
+                                     // slicing (host, disk, extent) bits out of them collapses the file
+                                     // population onto a subspace far smaller than the product space.
+    let mut step = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mut x = state;
+        x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^ (x >> 33)
+    };
+    let started = Instant::now();
+    for i in 0..records {
+        let r = step();
+        ticks += 1_000_000 + r % 3_000_000;
+        let host = r % HOSTS;
+        let disk = (r >> 8) % DISKS;
+        // Zipf-ish extents: half the traffic hits a hot 1/64th of the
+        // extent space, the rest spreads uniformly (so every extent
+        // appears given enough records).
+        let e = step();
+        let extent = if e.is_multiple_of(2) {
+            (e >> 1) % (extents / 64).max(1)
+        } else {
+            (e >> 1) % extents
+        };
+        let write_op = step() % 10 < 3;
+        let size = 4096 + (step() % 64) * 16_384;
+        let resp = step() % 40_000_000; // up to 4 s of ticks
+        write(&format!(
+            "{ticks},src{host:02},{disk},{},{},{size},{resp}\n",
+            if write_op { "Write" } else { "Read" },
+            extent << 20,
+        ))?;
+        if i % 2_000_000 == 1_999_999 {
+            eprintln!("ingest-gen: {} / {records} records...", i + 1);
+        }
+    }
+    w.flush().map_err(|e| format!("writing {out}: {e}"))?;
+    let bytes = std::fs::metadata(&out).map_err(|e| e.to_string())?.len();
+    eprintln!(
+        "ingest-gen: wrote {records} records ({:.2} GB) to {out} in {:.1} s",
+        bytes as f64 / 1e9,
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// One ingest-smoke fixture: an external-format sample plus the pinned
+/// import outcome. The pins cover the full import pipeline — line
+/// parsing, skip/error discipline, normalization, and the store's
+/// manifest arithmetic — so a drift in any layer fails the smoke.
+struct IngestFixture {
+    format: FormatId,
+    path: &'static str,
+    records: u64,
+    files: u64,
+    referenced_bytes: u64,
+    read_records: u64,
+    skipped: u64,
+    parse_errors: u64,
+    error_census: u64,
+}
+
+const INGEST_FIXTURES: [IngestFixture; 3] = [
+    IngestFixture {
+        format: FormatId::Msr,
+        path: "tests/fixtures/ingest/msr_sample.csv",
+        records: 16,
+        files: 7,
+        referenced_bytes: 536_576,
+        read_records: 11,
+        skipped: 1,
+        parse_errors: 2,
+        error_census: 0,
+    },
+    IngestFixture {
+        format: FormatId::Clf,
+        path: "tests/fixtures/ingest/clf_sample.log",
+        records: 9,
+        files: 6,
+        referenced_bytes: 1_208_453,
+        read_records: 7,
+        skipped: 3,
+        parse_errors: 2,
+        error_census: 3,
+    },
+    IngestFixture {
+        format: FormatId::IbmKv,
+        path: "tests/fixtures/ingest/ibmkv_sample.txt",
+        records: 14,
+        files: 6,
+        referenced_bytes: 7_388_757,
+        read_records: 10,
+        skipped: 2,
+        parse_errors: 2,
+        error_census: 0,
+    },
+];
+
+/// `repro ingest-smoke`: import the pinned fixture of every external
+/// format, hold the result to its pinned stats, sweep one imported cell
+/// at two worker counts, and record the import throughput as
+/// `ingest_refs_per_sec` in the benchmark artifact (report-only; the CI
+/// baseline keeps it ungated).
+fn run_ingest_smoke_command(args: &[String]) -> Result<(), String> {
+    let mut bench: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => bench = Some(it.next().ok_or("--bench needs a value")?.clone()),
+            other => return Err(format!("unknown ingest-smoke flag `{other}`")),
+        }
+    }
+    let tmp = std::env::temp_dir().join(format!("fmig-ingest-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // 1. Fixture imports: every format, pinned end-to-end.
+    let mut kv_store = None;
+    for fx in &INGEST_FIXTURES {
+        let file = std::fs::File::open(fx.path)
+            .map_err(|e| format!("opening {} (run from the repo root): {e}", fx.path))?;
+        let dir = tmp.join(fx.format.name());
+        let report = import(
+            fx.format,
+            BufReader::new(file),
+            IngestConfig::default(),
+            &dir,
+            |_| {},
+        )
+        .map_err(|e| format!("{}: import failed: {e}", fx.path))?;
+        let m = &report.manifest;
+        let got = (
+            m.records,
+            m.files,
+            m.referenced_bytes,
+            m.read_records,
+            report.counts.skipped,
+            report.counts.parse_errors,
+            report.stats.total_errors(),
+        );
+        let want = (
+            fx.records,
+            fx.files,
+            fx.referenced_bytes,
+            fx.read_records,
+            fx.skipped,
+            fx.parse_errors,
+            fx.error_census,
+        );
+        if got != want {
+            return Err(format!(
+                "{}: pinned import stats drifted\n  want (records, files, bytes, reads, \
+                 skipped, errors, census) = {want:?}\n  got  {got:?}",
+                fx.path
+            ));
+        }
+        println!(
+            "ingest-smoke {}: {} records, {} files, {} bytes referenced — pins hold",
+            fx.format.name(),
+            m.records,
+            m.files,
+            m.referenced_bytes
+        );
+        if fx.format == FormatId::IbmKv {
+            kv_store = Some(dir);
+        }
+    }
+
+    // 2. One imported sweep cell, byte-identical across worker counts.
+    let dir = kv_store.expect("fixture table covers ibm-kv");
+    let store_dir = dir.to_str().ok_or("temp dir is not UTF-8")?;
+    let mut serial = SweepConfig::imported(store_dir);
+    serial.policies = vec![fmig_core::PolicyId::Lru, fmig_core::PolicyId::Stp14];
+    serial.cache_fractions = vec![0.25];
+    serial.workers = 1;
+    let mut pooled = serial.clone();
+    pooled.workers = 4;
+    let a = run_sweep(&serial).to_json();
+    let b = run_sweep(&pooled).to_json();
+    if a != b {
+        return Err("imported sweep cell differs across worker counts".into());
+    }
+    if !a.contains("\"preset\": \"imported\"") || !a.contains("\"trace\": ") {
+        return Err("imported sweep report is missing its trace schema".into());
+    }
+    println!("ingest-smoke sweep: imported cell byte-identical at workers 1 and 4");
+
+    // 3. Import throughput on a synthetic in-memory MSR stream, recorded
+    //    report-only. 200 k records is enough for a stable figure while
+    //    keeping the smoke in CI seconds.
+    let mut text = String::with_capacity(16 << 20);
+    let mut ticks: u64 = (1_199_145_600 + 11_644_473_600) * 10_000_000;
+    let mut state = 0x534D_4F4B_u64; // "SMOK"
+    for _ in 0..200_000u32 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ticks += 1_000_000 + state % 1_000_000;
+        text.push_str(&format!(
+            "{ticks},h{:02},{},{},{},{},{}\n",
+            state % 16,
+            (state >> 8) % 4,
+            if state.is_multiple_of(4) {
+                "Write"
+            } else {
+                "Read"
+            },
+            ((state >> 16) % 4096) << 20,
+            4096 + (state >> 24) % 500_000,
+            state % 10_000_000,
+        ));
+    }
+    let bench_dir = tmp.join("bench");
+    let started = Instant::now();
+    let report = import(
+        FormatId::Msr,
+        Cursor::new(text.as_bytes()),
+        IngestConfig::default(),
+        &bench_dir,
+        |_| {},
+    )
+    .map_err(|e| format!("throughput import failed: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    let ingest_refs_per_sec = report.counts.records as f64 / secs.max(1e-9);
+    println!(
+        "ingest-smoke throughput: {} records in {secs:.2} s ({ingest_refs_per_sec:.0} refs/s)",
+        report.counts.records
+    );
+    if let Some(path) = bench {
+        record_bench_key(&path, "ingest_refs_per_sec", ingest_refs_per_sec)?;
+        println!("ingest-smoke: recorded ingest_refs_per_sec in {path}");
+    }
+    std::fs::remove_dir_all(&tmp).map_err(|e| format!("cleanup: {e}"))?;
+    println!(
+        "ingest-smoke: OK ({} formats, pins hold)",
+        INGEST_FIXTURES.len()
+    );
+    Ok(())
+}
+
+/// Inserts (or replaces) one top-level numeric key in the benchmark
+/// artifact without disturbing its other fields — the same line-level
+/// surgery the service smoke performs for its throughput figure.
+fn record_bench_key(path: &str, key: &str, value: f64) -> Result<(), String> {
+    let needle = format!("\"{key}\"");
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(_) => {
+            let fresh = format!("{{\n  \"{key}\": {value:?}\n}}\n");
+            return std::fs::write(path, fresh).map_err(|e| format!("writing {path}: {e}"));
+        }
+    };
+    let kept: Vec<&str> = body.lines().filter(|l| !l.contains(&needle)).collect();
+    let mut out = Vec::with_capacity(kept.len() + 1);
+    let mut inserted = false;
+    for line in kept {
+        out.push(line.to_string());
+        if !inserted && line.trim_start().starts_with('{') {
+            out.push(format!("  \"{key}\": {value:?},"));
+            inserted = true;
+        }
+    }
+    let mut text = out.join("\n");
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
 /// Measures a fixed CPU-bound mixing loop so wall times from machines of
 /// different speeds become comparable: `normalized_cost` is "sweeps per
 /// calibration loop", a pure ratio of two measurements on the same box.
@@ -575,6 +1097,24 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    for (name, run) in [
+        (
+            "ingest",
+            run_ingest_command as fn(&[String]) -> Result<(), String>,
+        ),
+        ("ingest-gen", run_ingest_gen_command),
+        ("ingest-smoke", run_ingest_smoke_command),
+    ] {
+        if raw.first().map(String::as_str) == Some(name) {
+            return match run(&raw[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}\n{}", usage());
+                    ExitCode::FAILURE
+                }
+            };
+        }
     }
     if raw.first().map(String::as_str) == Some("service-smoke") {
         return match run_service_smoke_command(&raw[1..]) {

@@ -30,18 +30,20 @@
 //! any worker count yields byte-identical [`SweepReport::to_json`]
 //! output, pinned by a tier-1 test.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fmig_analysis::Analyzer;
-use fmig_migrate::eval::{EvalConfig, PreparedTrace, TracePrep};
-use fmig_migrate::mrc::MissRatioCurve;
+use fmig_migrate::eval::{EvalConfig, PreparedRef, PreparedTrace, TracePrep};
+use fmig_migrate::mrc::{sweep_capacities_streaming, MissRatioCurve};
 use fmig_sim::{HierarchySimulator, MssSimulator, SimConfig};
+use fmig_trace::ingest::store::{StoreReader, StoreRow, CHUNK_RECORDS};
 use fmig_trace::Direction;
 use fmig_workload::{PaperTargets, Workload};
 
 use crate::sweep::{
-    CellResult, FaultScenarioId, PaperDelta, ShardReport, SweepConfig, SweepReport,
+    CellResult, FaultScenarioId, PaperDelta, PresetId, ShardReport, SweepConfig, SweepReport,
 };
 
 /// Expands the matrix and runs every cell; see the module docs.
@@ -61,6 +63,20 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
             && !config.cache_fractions.is_empty(),
         "sweep matrix must be non-empty on every axis"
     );
+    if config.presets.contains(&PresetId::Imported) {
+        assert!(
+            config.trace_store.is_some(),
+            "the `imported` preset needs `trace_store` to point at a replay store"
+        );
+        assert!(
+            !config.latency
+                && config
+                    .fault_axis()
+                    .iter()
+                    .all(|&f| f == FaultScenarioId::None),
+            "imported traces replay open-loop only (no latency mode, no fault axis)"
+        );
+    }
     let coords: Vec<(usize, usize)> = (0..config.presets.len())
         .flat_map(|p| (0..config.scales.len()).map(move |s| (p, s)))
         .collect();
@@ -82,6 +98,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         base_seed: config.base_seed,
         simulated_devices: config.simulate_devices,
         latency_mode: config.latency,
+        trace_store: config.trace_store.clone(),
         fault_scenarios: config.fault_axis(),
         shards,
         winners: Vec::new(),
@@ -136,14 +153,136 @@ struct PreparedShard {
     mean_read_latency_s: f64,
     mean_write_latency_s: f64,
     paper_deltas: Vec<PaperDelta>,
-    prepared: PreparedTrace,
+    data: ShardData,
     capacities: Vec<u64>,
+}
+
+/// Where a shard's replayable references live: in memory for generated
+/// workloads, on disk for imported traces.
+enum ShardData {
+    /// A generated trace, fully materialized by [`TracePrep`].
+    Generated(PreparedTrace),
+    /// An imported trace in the columnar replay store; phase 2 streams
+    /// it chunk by chunk, so the references never materialize.
+    Imported(StoreReader),
+}
+
+/// Streams a replay store as [`PreparedRef`]s, one
+/// [`CHUNK_RECORDS`]-sized buffer at a time.
+///
+/// The store was validated at open (column lengths match the manifest)
+/// and is immutable after import, so a read failure mid-replay is a
+/// broken environment, not bad input — it panics like any other
+/// violated runner invariant rather than threading `Result` through
+/// the fused sweep pass.
+struct StoreRefStream {
+    rows: fmig_trace::ingest::store::StoreRows,
+    buf: Vec<StoreRow>,
+    pos: usize,
+}
+
+impl StoreRefStream {
+    fn open(store: &StoreReader) -> Self {
+        let rows = store
+            .rows(CHUNK_RECORDS)
+            .expect("replay store columns open");
+        StoreRefStream {
+            rows,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for StoreRefStream {
+    type Item = PreparedRef;
+
+    fn next(&mut self) -> Option<PreparedRef> {
+        if self.pos == self.buf.len() {
+            let more = self
+                .rows
+                .next_chunk(&mut self.buf)
+                .expect("replay store chunk reads");
+            self.pos = 0;
+            if !more {
+                return None;
+            }
+        }
+        let row = self.buf[self.pos];
+        self.pos += 1;
+        Some(PreparedRef {
+            id: row.file,
+            size: row.size,
+            write: row.write,
+            time: row.start,
+            next_use: row.next_use,
+            device: row.device,
+        })
+    }
+}
+
+/// Opens the columnar store behind an imported shard and lifts its
+/// import-time statistics into the report skeleton. No trace data is
+/// read here — phase 2 streams the columns per cell unit.
+fn prepare_imported_shard(
+    config: &SweepConfig,
+    preset_idx: usize,
+    scale_idx: usize,
+) -> PreparedShard {
+    let dir = config
+        .trace_store
+        .as_deref()
+        .expect("validated by run_sweep");
+    let store =
+        StoreReader::open(Path::new(dir)).unwrap_or_else(|e| panic!("trace store {dir}: {e}"));
+    let stats = store
+        .stats()
+        .unwrap_or_else(|e| panic!("trace store {dir}: {e}"));
+    let manifest = store.manifest().clone();
+    let capacities: Vec<u64> = config
+        .cache_fractions
+        .iter()
+        .map(|&fraction| ((manifest.referenced_bytes as f64 * fraction) as u64).max(1))
+        .collect();
+    PreparedShard {
+        preset_idx,
+        scale_idx,
+        records: stats.raw_references,
+        files: manifest.files,
+        referenced_bytes: manifest.referenced_bytes,
+        read_share: stats.read_reference_share(),
+        // Imported formats carry transfer durations at best, not the
+        // simulator's startup-latency model; the stats file's latency
+        // sums are whatever the source logs recorded (often zero).
+        mean_read_latency_s: mean_latency(&stats.reads),
+        mean_write_latency_s: mean_latency(&stats.writes),
+        // Paper deltas row only makes sense for the NCAR-calibrated
+        // generator; an external trace has its own shape by definition.
+        paper_deltas: Vec::new(),
+        data: ShardData::Imported(store),
+        capacities,
+    }
+}
+
+/// Mean recorded latency across a direction's device classes.
+fn mean_latency(d: &fmig_trace::DirectionStats) -> f64 {
+    let (refs, sum) = d.by_device.iter().fold((0u64, 0.0f64), |(n, s), a| {
+        (n + a.references, s + a.latency_sum_s)
+    });
+    if refs == 0 {
+        0.0
+    } else {
+        sum / refs as f64
+    }
 }
 
 /// Generates, simulates, and analyzes one shard; policy evaluation is
 /// phase 2's job.
 fn prepare_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> PreparedShard {
     let preset = config.presets[preset_idx];
+    if preset == PresetId::Imported {
+        return prepare_imported_shard(config, preset_idx, scale_idx);
+    }
     let scale = config.scales[scale_idx];
     let workload_seed = config.workload_seed(preset_idx, scale_idx);
     let sim_seed = config.sim_seed(preset_idx, scale_idx);
@@ -234,7 +373,7 @@ fn prepare_shard(config: &SweepConfig, preset_idx: usize, scale_idx: usize) -> P
         mean_read_latency_s: analysis.latency.direction_mean(Direction::Read),
         mean_write_latency_s: analysis.latency.direction_mean(Direction::Write),
         paper_deltas,
-        prepared,
+        data: ShardData::Generated(prepared),
         capacities,
     }
 }
@@ -313,11 +452,20 @@ fn run_unit(
         CellUnit::Curve { policy_idx, .. } => {
             let base = EvalConfig::with_capacity(0);
             let policy = config.policies[policy_idx].build();
-            UnitOutput::Curve(shard.prepared.miss_ratio_curve(
-                policy.as_ref(),
-                &shard.capacities,
-                &base,
-            ))
+            UnitOutput::Curve(match &shard.data {
+                ShardData::Generated(prepared) => {
+                    prepared.miss_ratio_curve(policy.as_ref(), &shard.capacities, &base)
+                }
+                // Stream the store through the same fused single-pass
+                // engine: one disk walk per policy covers the whole
+                // capacity grid, and the references never materialize.
+                ShardData::Imported(store) => sweep_capacities_streaming(
+                    StoreRefStream::open(store),
+                    policy.as_ref(),
+                    &shard.capacities,
+                    &base,
+                ),
+            })
         }
         CellUnit::Closed {
             shard: shard_idx,
@@ -334,8 +482,14 @@ fn run_unit(
             );
             let hierarchy = HierarchySimulator::new(SimConfig::default().with_seed(cell_seed));
             let policy = config.policies[policy_idx];
+            let ShardData::Generated(prepared) = &shard.data else {
+                // run_sweep rejects latency/fault matrices over imported
+                // presets, so no closed-loop unit is ever scheduled on a
+                // store-backed shard.
+                unreachable!("imported shards are open-loop only")
+            };
             let outcome = hierarchy.evaluate_with_faults(
-                &shard.prepared,
+                prepared,
                 policy.build().as_ref(),
                 &eval_config,
                 &plan,

@@ -177,10 +177,19 @@ pub enum PresetId {
     /// Archive dominated: most datasets predate the window and residency
     /// clocks are short, stressing shelf restaging.
     Archival,
+    /// A real trace imported into the columnar replay store
+    /// (`fmig_trace::ingest::store`) rather than generated. The shard's
+    /// workload comes from [`SweepConfig::trace_store`], so this preset
+    /// has no generator configuration and never appears in
+    /// [`PresetId::ALL`].
+    Imported,
 }
 
 impl PresetId {
-    /// Every preset, in report order.
+    /// Every *generator* preset, in report order. [`PresetId::Imported`]
+    /// is deliberately absent: it describes an external trace, not a
+    /// generator configuration, so matrix helpers that instantiate
+    /// workloads can iterate `ALL` safely.
     pub const ALL: [PresetId; 4] = [
         PresetId::Ncar,
         PresetId::ReadHot,
@@ -195,16 +204,30 @@ impl PresetId {
             PresetId::ReadHot => "read-hot",
             PresetId::WriteHeavy => "write-heavy",
             PresetId::Archival => "archival",
+            PresetId::Imported => "imported",
         }
     }
 
     /// Parses a stable identifier back to the preset.
     pub fn parse(s: &str) -> Option<PresetId> {
+        if s == PresetId::Imported.name() {
+            return Some(PresetId::Imported);
+        }
         PresetId::ALL.into_iter().find(|p| p.name() == s)
     }
 
     /// The generator configuration for this preset at a scale and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PresetId::Imported`], which replays a stored trace
+    /// instead of generating one — the runner routes it to the columnar
+    /// store before ever asking for a generator.
     pub fn workload(&self, scale: f64, seed: u64) -> WorkloadConfig {
+        assert!(
+            *self != PresetId::Imported,
+            "the `imported` preset replays a trace store and has no generator config"
+        );
         let base = WorkloadConfig {
             scale,
             seed,
@@ -228,6 +251,7 @@ impl PresetId {
                 silo_residency_days: 45.0,
                 ..base
             },
+            PresetId::Imported => unreachable!("rejected above"),
         }
     }
 }
@@ -369,6 +393,15 @@ pub struct SweepConfig {
     /// phase's task count (shards during preparation, cell units during
     /// execution). Any value produces the identical report.
     pub workers: usize,
+    /// Columnar replay-store directory backing [`PresetId::Imported`]
+    /// shards (see `fmig_trace::ingest::store`). Must be `Some` whenever
+    /// the preset axis contains `Imported`, and shows up in the report
+    /// JSON as a `"trace"` config key only then — generated matrices
+    /// keep the pre-ingestion schema byte for byte. Imported shards
+    /// replay the store in streaming chunks, so even multi-GB traces
+    /// never materialize in memory; they support open-loop evaluation
+    /// only (no `latency`, no fault axis).
+    pub trace_store: Option<String>,
 }
 
 impl SweepConfig {
@@ -393,6 +426,7 @@ impl SweepConfig {
             latency: false,
             faults: vec![FaultScenarioId::None, FaultScenarioId::DegradedPeak],
             workers: 0,
+            trace_store: None,
         }
     }
 
@@ -415,6 +449,7 @@ impl SweepConfig {
             latency: false,
             faults: vec![FaultScenarioId::None],
             workers: 0,
+            trace_store: None,
         }
     }
 
@@ -436,6 +471,7 @@ impl SweepConfig {
             latency: false,
             faults: vec![FaultScenarioId::None],
             workers: 0,
+            trace_store: None,
         }
     }
 
@@ -446,6 +482,31 @@ impl SweepConfig {
         SweepConfig {
             scales: vec![4.0],
             ..Self::large()
+        }
+    }
+
+    /// An open-loop matrix over one imported trace store: the five
+    /// comparison policies at the classic cache fractions. Imported
+    /// shards carry no generator scale — the axis is pinned to `1.0` so
+    /// seed derivation and report keys stay well-defined.
+    pub fn imported(store_dir: &str) -> Self {
+        SweepConfig {
+            policies: vec![
+                PolicyId::Stp14,
+                PolicyId::Lru,
+                PolicyId::Fifo,
+                PolicyId::Saac,
+                PolicyId::Belady,
+            ],
+            presets: vec![PresetId::Imported],
+            scales: vec![1.0],
+            cache_fractions: vec![0.005, 0.015, 0.05],
+            base_seed: 0x5357_4545,
+            simulate_devices: false,
+            latency: false,
+            faults: vec![FaultScenarioId::None],
+            workers: 0,
+            trace_store: Some(store_dir.to_string()),
         }
     }
 
@@ -662,6 +723,10 @@ pub struct SweepReport {
     pub simulated_devices: bool,
     /// Whether cells ran latency-true (closed-loop) evaluation.
     pub latency_mode: bool,
+    /// The columnar replay store the matrix drew imported shards from;
+    /// `None` for purely generated matrices, which keep the
+    /// pre-ingestion JSON schema byte for byte.
+    pub trace_store: Option<String>,
     /// The fault axis the matrix expanded over. A `[None]` axis keeps
     /// every fault-related field out of the JSON entirely, making the
     /// healthy report byte-identical to the pre-fault schema.
@@ -810,6 +875,12 @@ impl SweepReport {
         });
         out.push_str(",\n  \"latency_mode\": ");
         out.push_str(if self.latency_mode { "true" } else { "false" });
+        // Like the fault keys below, the trace key exists only when the
+        // matrix actually imported something.
+        if let Some(store) = &self.trace_store {
+            out.push_str(",\n  \"trace\": ");
+            json_str(&mut out, store);
+        }
         // Every fault-related key is conditional on the matrix actually
         // degrading something: a [None] axis reproduces the pre-fault
         // schema byte for byte.
@@ -1197,6 +1268,7 @@ mod tests {
             base_seed: 0,
             simulated_devices: false,
             latency_mode: false,
+            trace_store: None,
             fault_scenarios: vec![FaultScenarioId::None],
             shards: vec![ShardReport {
                 preset: PresetId::Ncar,

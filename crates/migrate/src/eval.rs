@@ -394,23 +394,58 @@ fn replay(
     policy: &dyn MigrationPolicy,
     config: &EvalConfig,
 ) -> CacheStats {
-    let mut cache = DiskCache::new(config.cache, policy);
-    // The trace's file universe is known up front, so the per-file
-    // arenas are sized once here instead of growing through doubling
-    // reallocations mid-replay.
-    cache.reserve_files(file_count);
-    // Open-loop fallback for the miss-latency feedback channel: no
-    // device model runs, so every entry carries the flat per-miss wait
-    // constant (see `crate::feedback` for the closed-loop counterpart).
-    cache.set_est_miss_wait_s(config.wait_s_per_miss);
+    let mut session = ReplaySession::new(file_count, policy, config);
     for r in prepared {
+        session.feed(r);
+    }
+    session.finish()
+}
+
+/// Incremental open-loop replay: feed prepared references in time
+/// order — from any source, chunk by chunk — and collect the cache
+/// statistics at the end.
+///
+/// This is the streaming counterpart of [`PreparedTrace::replay`] for
+/// traces that never materialize as a slice: the imported-trace replay
+/// store hands chunks straight from disk into a session, so peak
+/// memory is O(`file_count`) + one chunk regardless of trace length.
+/// Feeding the same references produces bit-identical statistics to
+/// the slice path (which is itself implemented on top of this).
+#[derive(Debug)]
+pub struct ReplaySession<'p> {
+    cache: DiskCache<'p>,
+}
+
+impl<'p> ReplaySession<'p> {
+    /// Opens a session over an empty cache sized for `file_count`
+    /// distinct files.
+    pub fn new(file_count: usize, policy: &'p dyn MigrationPolicy, config: &EvalConfig) -> Self {
+        let mut cache = DiskCache::new(config.cache, policy);
+        // The trace's file universe is known up front, so the per-file
+        // arenas are sized once here instead of growing through doubling
+        // reallocations mid-replay.
+        cache.reserve_files(file_count);
+        // Open-loop fallback for the miss-latency feedback channel: no
+        // device model runs, so every entry carries the flat per-miss
+        // wait constant (see `crate::feedback` for the closed-loop
+        // counterpart).
+        cache.set_est_miss_wait_s(config.wait_s_per_miss);
+        ReplaySession { cache }
+    }
+
+    /// Replays one reference.
+    pub fn feed(&mut self, r: &PreparedRef) {
         if r.write {
-            cache.write(r.id, r.size, r.time, r.next_use);
+            self.cache.write(r.id, r.size, r.time, r.next_use);
         } else {
-            cache.read(r.id, r.size, r.time, r.next_use);
+            self.cache.read(r.id, r.size, r.time, r.next_use);
         }
     }
-    *cache.stats()
+
+    /// Finishes the session, returning the accumulated statistics.
+    pub fn finish(self) -> CacheStats {
+        *self.cache.stats()
+    }
 }
 
 /// Runs every policy over the trace, in parallel, and returns outcomes

@@ -60,7 +60,7 @@ pub use hashed::{HashedDiskCache, HashedInterner};
 
 pub use eval::{
     evaluate_policies, EvalConfig, LatencyOutcome, PolicyOutcome, PreparedRef, PreparedTrace,
-    TracePrep,
+    ReplaySession, TracePrep,
 };
 pub use mrc::{MissRatioCurve, MrcPoint};
 pub use policy::{

@@ -650,6 +650,30 @@ pub fn sweep_capacities(
     capacities: &[u64],
     base: &EvalConfig,
 ) -> MissRatioCurve {
+    sweep_capacities_streaming(refs.iter().copied(), policy, capacities, base)
+}
+
+/// [`sweep_capacities`] over a reference *stream*: the same fused
+/// single-pass engine, fed from any iterator instead of a slice.
+///
+/// This is the entry the imported-trace replay store uses — its chunked
+/// readers hand references straight from disk, so a multi-GB trace
+/// sweeps a whole capacity grid without ever materializing as a
+/// `Vec<PreparedRef>`. Peak memory is the grid's per-file state
+/// (`O(files × capacities)`) plus whatever the iterator buffers.
+/// Feeding the same sequence is bit-identical to the slice entry, which
+/// is implemented on top of this.
+///
+/// # Panics
+///
+/// Panics if `base.cache`'s watermarks are not `0 < low <= high <= 1`
+/// (the same contract as [`DiskCache::new`]).
+pub fn sweep_capacities_streaming(
+    refs: impl IntoIterator<Item = PreparedRef>,
+    policy: &dyn MigrationPolicy,
+    capacities: &[u64],
+    base: &EvalConfig,
+) -> MissRatioCurve {
     assert!(
         base.cache.low_watermark > 0.0
             && base.cache.low_watermark <= base.cache.high_watermark

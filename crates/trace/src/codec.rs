@@ -27,6 +27,7 @@ use std::io::{BufRead, Write};
 
 use crate::error::TraceError;
 use crate::flags::FlagWord;
+use crate::line::{read_line_bounded, LineRead, MAX_LINE_BYTES};
 use crate::record::{Endpoint, TraceRecord};
 use crate::time::Timestamp;
 
@@ -143,17 +144,19 @@ pub struct TraceReader<R: BufRead> {
 
 impl<R: BufRead> TraceReader<R> {
     /// Creates a reader, validating the two header lines.
+    ///
+    /// Header lines are read through the bounded line reader
+    /// ([`crate::line::MAX_LINE_BYTES`]), so a garbage stream with no
+    /// newlines is rejected without buffering it.
     pub fn new(mut input: R) -> Result<Self, TraceError> {
-        let mut magic = String::new();
-        input.read_line(&mut magic)?;
+        let magic = header_line(&mut input)?;
         if magic.trim_end() != MAGIC {
             return Err(TraceError::BadHeader(format!(
                 "expected {MAGIC:?}, found {:?}",
                 magic.trim_end()
             )));
         }
-        let mut epoch_line = String::new();
-        input.read_line(&mut epoch_line)?;
+        let epoch_line = header_line(&mut input)?;
         let epoch = epoch_line
             .trim_end()
             .strip_prefix("# epoch ")
@@ -253,14 +256,28 @@ impl<R: BufRead> Iterator for TraceReader<R> {
             return None;
         }
         loop {
-            let mut line = String::new();
-            match self.input.read_line(&mut line) {
-                Ok(0) => {
+            match read_line_bounded(&mut self.input, MAX_LINE_BYTES) {
+                Ok(LineRead::Eof) => {
                     self.done = true;
                     return None;
                 }
-                Ok(_) => {
+                Ok(LineRead::Oversized) => {
                     self.line_no += 1;
+                    return Some(Err(TraceError::parse(
+                        self.line_no,
+                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    )));
+                }
+                Ok(LineRead::Line(bytes)) => {
+                    self.line_no += 1;
+                    // Invalid UTF-8 is a recoverable per-line
+                    // diagnostic, like any other malformed line.
+                    let Ok(line) = std::str::from_utf8(&bytes) else {
+                        return Some(Err(TraceError::parse(
+                            self.line_no,
+                            "line is not valid UTF-8",
+                        )));
+                    };
                     let trimmed = line.trim_end();
                     if trimmed.is_empty() || trimmed.starts_with('#') {
                         continue;
@@ -273,6 +290,19 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                 }
             }
         }
+    }
+}
+
+/// Reads one bounded header line as UTF-8, mapping oversize and invalid
+/// encodings to [`TraceError::BadHeader`].
+fn header_line<R: BufRead>(input: &mut R) -> Result<String, TraceError> {
+    match read_line_bounded(input, MAX_LINE_BYTES)? {
+        LineRead::Eof => Err(TraceError::BadHeader("unexpected end of stream".into())),
+        LineRead::Oversized => Err(TraceError::BadHeader(format!(
+            "header line exceeds {MAX_LINE_BYTES} bytes"
+        ))),
+        LineRead::Line(bytes) => String::from_utf8(bytes)
+            .map_err(|_| TraceError::BadHeader("header is not valid UTF-8".into())),
     }
 }
 
@@ -354,7 +384,7 @@ impl<W: Write> VerboseLogWriter<W> {
 
 /// Percent-escapes whitespace, `%`, and control bytes so paths survive the
 /// whitespace-delimited format.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
@@ -372,7 +402,7 @@ fn escape(s: &str) -> String {
 }
 
 /// Inverse of [`escape`]; returns `None` on malformed escapes.
-fn unescape(s: &str) -> Option<String> {
+pub(crate) fn unescape(s: &str) -> Option<String> {
     if s == "%00" {
         return Some(String::new());
     }

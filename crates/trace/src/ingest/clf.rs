@@ -1,0 +1,321 @@
+//! Common Log Format parser (CDN / web server request logs).
+//!
+//! Parses NCSA Common Log Format lines (the format Apache, nginx, and
+//! most CDN edge logs default to or extend):
+//!
+//! ```text
+//! 203.0.113.9 - alice [01/Aug/1995:00:00:01 -0400] "GET /images/logo.gif HTTP/1.0" 200 6245
+//! ```
+//!
+//! Combined-format trailers (referrer, user agent) after the byte count
+//! are tolerated and ignored.
+//!
+//! # Normalization
+//!
+//! * The request target (path + query string, untouched) is the file
+//!   identity; `GET`/`HEAD` map to reads, `PUT`/`POST` to writes, every
+//!   other method (`DELETE`, `OPTIONS`, ...) is skipped as outside the
+//!   replay model.
+//! * The timestamp is converted to UTC by subtracting the `±zzzz` zone
+//!   offset from the civil time.
+//! * The byte count is the file size (`-` and `0` become 0; the replay
+//!   store later clamps sizes to ≥ 1 byte, matching native traces).
+//! * Failed requests join the paper's error census: 404/410 as
+//!   file-not-found, other 4xx as premature termination, 5xx as media
+//!   error.
+//! * The "user" is a stable hash of the authuser (falling back to the
+//!   client host for anonymous requests).
+
+use crate::error::TraceError;
+use crate::ingest::{fnv1a64, FormatId, IngestFormat, RawEvent};
+use crate::record::{DeviceClass, ErrorKind};
+use crate::time::Timestamp;
+
+/// Parser for Common Log Format request logs.
+#[derive(Debug, Default)]
+pub struct ClfFormat;
+
+impl IngestFormat for ClfFormat {
+    fn id(&self) -> FormatId {
+        FormatId::Clf
+    }
+
+    fn parse_line(&mut self, line_no: u64, line: &str) -> Result<Option<RawEvent>, TraceError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let bad = |msg: &str| TraceError::parse(line_no, msg.to_string());
+
+        let (host, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| bad("missing ident field"))?;
+        let (_ident, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad("missing authuser field"))?;
+        let (authuser, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad("missing timestamp"))?;
+
+        let rest = rest
+            .strip_prefix('[')
+            .ok_or_else(|| bad("timestamp must start with `[`"))?;
+        let (stamp, rest) = rest
+            .split_once(']')
+            .ok_or_else(|| bad("unterminated `[timestamp]`"))?;
+        let time = parse_clf_timestamp(line_no, stamp)?;
+
+        let rest = rest
+            .strip_prefix(" \"")
+            .ok_or_else(|| bad("missing quoted request"))?;
+        let (request, rest) = rest
+            .split_once('"')
+            .ok_or_else(|| bad("unterminated quoted request"))?;
+        let mut req_parts = request.split(' ');
+        let method = req_parts.next().unwrap_or("");
+        let target = req_parts
+            .next()
+            .ok_or_else(|| bad("request line has no target"))?;
+        let write = match method {
+            "GET" | "HEAD" => false,
+            "PUT" | "POST" => true,
+            // Methods that move no replayable payload.
+            "DELETE" | "OPTIONS" | "TRACE" | "CONNECT" | "PATCH" | "PROPFIND" => return Ok(None),
+            other => return Err(bad(&format!("unknown method `{other}`"))),
+        };
+
+        let mut tail = rest.trim_start().split(' ');
+        let status_text = tail.next().ok_or_else(|| bad("missing status code"))?;
+        let status: u16 = status_text
+            .parse()
+            .map_err(|_| bad(&format!("status `{status_text}` is not a number")))?;
+        if !(100..=599).contains(&status) {
+            return Err(bad(&format!("status {status} out of range")));
+        }
+        let bytes_text = tail.next().ok_or_else(|| bad("missing byte count"))?;
+        let size: u64 = if bytes_text == "-" {
+            0
+        } else {
+            bytes_text
+                .parse()
+                .map_err(|_| bad(&format!("byte count `{bytes_text}` is not a number")))?
+        };
+
+        let error = match status {
+            404 | 410 => Some(ErrorKind::FileNotFound),
+            400..=499 => Some(ErrorKind::PrematureTermination),
+            500..=599 => Some(ErrorKind::MediaError),
+            _ => None,
+        };
+        let who = if authuser == "-" { host } else { authuser };
+        Ok(Some(RawEvent {
+            time,
+            path: target.to_string(),
+            size,
+            write,
+            device: DeviceClass::Disk,
+            uid: (fnv1a64(who.as_bytes()) % 99_991) as u32,
+            transfer_ms: 0,
+            error,
+        }))
+    }
+}
+
+/// Parses `dd/Mon/yyyy:HH:MM:SS ±zzzz` into a UTC timestamp.
+fn parse_clf_timestamp(line_no: u64, stamp: &str) -> Result<Timestamp, TraceError> {
+    let bad = |msg: String| TraceError::parse(line_no, msg);
+    let (civil, zone) = stamp
+        .split_once(' ')
+        .ok_or_else(|| bad("timestamp missing zone offset".into()))?;
+    let mut parts = civil.splitn(2, ':');
+    let date = parts.next().unwrap_or("");
+    let clock = parts
+        .next()
+        .ok_or_else(|| bad("timestamp missing time of day".into()))?;
+
+    let mut d = date.split('/');
+    let (day, mon, year) = match (d.next(), d.next(), d.next(), d.next()) {
+        (Some(day), Some(mon), Some(year), None) => (day, mon, year),
+        _ => return Err(bad(format!("date `{date}` is not dd/Mon/yyyy"))),
+    };
+    let day: u8 = day.parse().map_err(|_| bad(format!("bad day `{day}`")))?;
+    let month = month_number(mon).ok_or_else(|| bad(format!("bad month `{mon}`")))?;
+    let year: i32 = year
+        .parse()
+        .map_err(|_| bad(format!("bad year `{year}`")))?;
+    if !(1..=days_in_month(year, month)).contains(&day) {
+        return Err(bad(format!("day {day} out of range for {mon} {year}")));
+    }
+
+    let mut c = clock.split(':');
+    let (h, m, s) = match (c.next(), c.next(), c.next(), c.next()) {
+        (Some(h), Some(m), Some(s), None) => (h, m, s),
+        _ => return Err(bad(format!("time `{clock}` is not HH:MM:SS"))),
+    };
+    let hour: u8 = h.parse().map_err(|_| bad(format!("bad hour `{h}`")))?;
+    let minute: u8 = m.parse().map_err(|_| bad(format!("bad minute `{m}`")))?;
+    let second: u8 = s.parse().map_err(|_| bad(format!("bad second `{s}`")))?;
+    if hour > 23 || minute > 59 || second > 60 {
+        return Err(bad(format!("time `{clock}` out of range")));
+    }
+
+    let zbytes = zone.as_bytes();
+    if zbytes.len() != 5 || !zbytes[1..].iter().all(u8::is_ascii_digit) {
+        return Err(bad(format!("zone `{zone}` must be ±zzzz")));
+    }
+    let sign = match zbytes[0] {
+        b'+' => 1i64,
+        b'-' => -1i64,
+        _ => return Err(bad(format!("zone `{zone}` must be ±zzzz"))),
+    };
+    let zh: i64 = zone[1..3].parse().expect("digits checked above");
+    let zm: i64 = zone[3..5].parse().expect("digits checked above");
+    if zh > 14 || zm > 59 {
+        return Err(bad(format!("zone `{zone}` out of range")));
+    }
+
+    // Local civil time minus the zone offset is UTC.
+    let local = Timestamp::from_civil_parts(year, month, day)
+        .add_secs(hour as i64 * 3600 + minute as i64 * 60 + second as i64);
+    Ok(local.add_secs(-sign * (zh * 3600 + zm * 60)))
+}
+
+fn month_number(mon: &str) -> Option<u8> {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS.iter().position(|&m| m == mon).map(|i| i as u8 + 1)
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        _ => {
+            let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Option<RawEvent>, TraceError> {
+        ClfFormat.parse_line(1, line)
+    }
+
+    #[test]
+    fn parses_the_classic_example() {
+        let ev = parse(
+            "203.0.113.9 - alice [01/Aug/1995:00:00:01 -0400] \"GET /images/logo.gif HTTP/1.0\" 200 6245",
+        )
+        .unwrap()
+        .unwrap();
+        // 1995-08-01 00:00:01 at UTC-4 is 04:00:01 UTC.
+        assert_eq!(
+            ev.time,
+            Timestamp::from_civil_parts(1995, 8, 1).add_secs(4 * 3600 + 1)
+        );
+        assert_eq!(ev.path, "/images/logo.gif");
+        assert_eq!(ev.size, 6245);
+        assert!(!ev.write && ev.error.is_none());
+    }
+
+    #[test]
+    fn methods_map_to_directions() {
+        let put = parse("h - - [01/Jan/2000:12:00:00 +0000] \"PUT /up HTTP/1.1\" 201 10")
+            .unwrap()
+            .unwrap();
+        assert!(put.write);
+        let del = parse("h - - [01/Jan/2000:12:00:00 +0000] \"DELETE /x HTTP/1.1\" 204 0").unwrap();
+        assert_eq!(del, None, "DELETE is outside the replay model");
+        assert!(
+            parse("h - - [01/Jan/2000:12:00:00 +0000] \"BREW /pot HTCPCP/1.0\" 418 0").is_err()
+        );
+    }
+
+    #[test]
+    fn statuses_join_the_error_census() {
+        let miss = parse("h - - [01/Jan/2000:12:00:00 +0000] \"GET /gone HTTP/1.0\" 404 -")
+            .unwrap()
+            .unwrap();
+        assert_eq!(miss.error, Some(ErrorKind::FileNotFound));
+        assert_eq!(miss.size, 0, "`-` bytes");
+        let cut = parse("h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 403 0")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cut.error, Some(ErrorKind::PrematureTermination));
+        let boom = parse("h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 500 0")
+            .unwrap()
+            .unwrap();
+        assert_eq!(boom.error, Some(ErrorKind::MediaError));
+    }
+
+    #[test]
+    fn combined_format_trailers_are_tolerated() {
+        let ev = parse(
+            "h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 7 \"http://ref\" \"agent\"",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(ev.size, 7);
+    }
+
+    #[test]
+    fn zone_offsets_flip_sign_correctly() {
+        let east = parse("h - - [01/Jan/2000:12:00:00 +0530] \"GET /x HTTP/1.0\" 200 1")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            east.time,
+            Timestamp::from_civil_parts(2000, 1, 1).add_secs(12 * 3600 - (5 * 3600 + 30 * 60))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnostics() {
+        for bad in [
+            "just one token",
+            "h - - 01/Jan/2000:12:00:00 +0000 \"GET /x HTTP/1.0\" 200 1", // no brackets
+            "h - - [01/Jan/2000:12:00:00 +0000] GET /x 200 1",            // no quotes
+            "h - - [32/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1", // day 32
+            "h - - [29/Feb/1999:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1", // not a leap year
+            "h - - [01/Jan/2000:25:00:00 +0000] \"GET /x HTTP/1.0\" 200 1", // hour 25
+            "h - - [01/Jan/2000:12:00:00 0000] \"GET /x HTTP/1.0\" 200 1", // no zone sign
+            "h - - [01/Jan/2000:12:00:00 +00] \"GET /x HTTP/1.0\" 200 1", // short zone
+            "h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" ok 1", // bad status
+            "h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 999 1", // status range
+            "h - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 two",
+            "h - - [01/Jan/2000:12:00:00 +0000] \"GET\" 200 1", // no target
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Leap day on an actual leap year parses.
+        assert!(
+            parse("h - - [29/Feb/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1")
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn anonymous_requests_hash_the_host() {
+        let a = parse("hostA - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1")
+            .unwrap()
+            .unwrap();
+        let b = parse("hostB - - [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1")
+            .unwrap()
+            .unwrap();
+        assert_ne!(a.uid, b.uid);
+        let named = parse("hostA - carol [01/Jan/2000:12:00:00 +0000] \"GET /x HTTP/1.0\" 200 1")
+            .unwrap()
+            .unwrap();
+        assert_ne!(named.uid, a.uid);
+    }
+}

@@ -1,0 +1,159 @@
+//! IBM object store (COS) / KV access-trace parser.
+//!
+//! The IBM Cloud Object Storage traces (SNIA, "IBM Object Store Traces")
+//! are whitespace-separated lines of the form
+//!
+//! ```text
+//! <timestamp-ms> REST.<VERB>.OBJECT <key> [size] [range-start range-end]
+//! 1219008 REST.GET.OBJECT 9af3 2952 0 1023
+//! 1219020 REST.PUT.OBJECT 77ab 1430
+//! ```
+//!
+//! * The timestamp is milliseconds from the start of the collection
+//!   window.
+//! * `REST.GET.OBJECT`/`REST.HEAD.OBJECT` are reads,
+//!   `REST.PUT.OBJECT`/`REST.POST.OBJECT` writes; other verbs
+//!   (`DELETE`, `COPY`, ...) are skipped as outside the replay model.
+//! * The optional size is the object size in bytes; range trailers are
+//!   tolerated and ignored (the replay model migrates whole files, the
+//!   paper's MSS had no partial recalls).
+//!
+//! # Normalization
+//!
+//! The key becomes the file identity `/<key>`; keys are opaque hashes
+//! in the published traces, so no further mapping applies. The format
+//! carries no user identity — every record gets uid 0 — and no transfer
+//! duration.
+
+use crate::error::TraceError;
+use crate::ingest::{FormatId, IngestFormat, RawEvent};
+use crate::record::DeviceClass;
+use crate::time::Timestamp;
+
+/// Parser for IBM object store / KV access traces.
+#[derive(Debug, Default)]
+pub struct IbmKvFormat;
+
+impl IngestFormat for IbmKvFormat {
+    fn id(&self) -> FormatId {
+        FormatId::IbmKv
+    }
+
+    fn parse_line(&mut self, line_no: u64, line: &str) -> Result<Option<RawEvent>, TraceError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let bad = |msg: String| TraceError::parse(line_no, msg);
+        let mut fields = line.split_ascii_whitespace();
+        let ms_text = fields.next().expect("non-empty line has a first token");
+        let ms: u64 = ms_text
+            .parse()
+            .map_err(|_| bad(format!("timestamp `{ms_text}` is not a number")))?;
+        let op = fields
+            .next()
+            .ok_or_else(|| bad("missing operation".into()))?;
+        let verb = match op
+            .strip_prefix("REST.")
+            .and_then(|r| r.strip_suffix(".OBJECT"))
+        {
+            Some(v) => v,
+            None => return Err(bad(format!("operation `{op}` is not REST.<verb>.OBJECT"))),
+        };
+        let write = match verb {
+            "GET" | "HEAD" => false,
+            "PUT" | "POST" => true,
+            "DELETE" | "COPY" => return Ok(None),
+            other => return Err(bad(format!("unknown verb `{other}`"))),
+        };
+        let key = fields
+            .next()
+            .ok_or_else(|| bad("missing object key".into()))?;
+        let size: u64 = match fields.next() {
+            None => 0,
+            Some(text) => text
+                .parse()
+                .map_err(|_| bad(format!("size `{text}` is not a number")))?,
+        };
+        // Optional `range-start range-end` trailer: validate shape,
+        // ignore content.
+        let trailer: Vec<&str> = fields.collect();
+        match trailer.len() {
+            0 => {}
+            2 => {
+                for t in &trailer {
+                    t.parse::<u64>()
+                        .map_err(|_| bad(format!("range bound `{t}` is not a number")))?;
+                }
+            }
+            _ => return Err(bad("trailing fields are not a range pair".into())),
+        }
+        Ok(Some(RawEvent {
+            time: Timestamp::from_unix((ms / 1000) as i64),
+            path: format!("/{key}"),
+            size,
+            write,
+            device: DeviceClass::Disk,
+            uid: 0,
+            transfer_ms: 0,
+            error: None,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Option<RawEvent>, TraceError> {
+        IbmKvFormat.parse_line(1, line)
+    }
+
+    #[test]
+    fn parses_get_with_range() {
+        let ev = parse("1219008 REST.GET.OBJECT 9af3 2952 0 1023")
+            .unwrap()
+            .unwrap();
+        assert_eq!(ev.time.as_unix(), 1219);
+        assert_eq!(ev.path, "/9af3");
+        assert_eq!(ev.size, 2952);
+        assert!(!ev.write);
+        assert_eq!(ev.uid, 0);
+    }
+
+    #[test]
+    fn put_without_size_defaults_to_zero() {
+        let ev = parse("5 REST.PUT.OBJECT k").unwrap().unwrap();
+        assert!(ev.write);
+        assert_eq!(ev.size, 0);
+    }
+
+    #[test]
+    fn head_is_a_read_and_delete_skips() {
+        assert!(!parse("5 REST.HEAD.OBJECT k 10").unwrap().unwrap().write);
+        assert_eq!(parse("5 REST.DELETE.OBJECT k").unwrap(), None);
+        assert_eq!(parse("5 REST.COPY.OBJECT k").unwrap(), None);
+    }
+
+    #[test]
+    fn comments_and_blanks_skip() {
+        assert_eq!(parse("# header").unwrap(), None);
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnostics() {
+        for bad in [
+            "notatime REST.GET.OBJECT k 1",
+            "5",                     // timestamp alone
+            "5 GET k 1",             // verb without REST. wrapper
+            "5 REST.EAT.OBJECT k 1", // unknown verb
+            "5 REST.GET.OBJECT k noSize",
+            "5 REST.GET.OBJECT k 1 2",   // half a range
+            "5 REST.GET.OBJECT k 1 a b", // non-numeric range
+            "5 REST.GET.OBJECT k 1 2 3 4",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

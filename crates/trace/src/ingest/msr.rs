@@ -1,0 +1,180 @@
+//! MSR Cambridge block-trace CSV parser.
+//!
+//! The MSR Cambridge traces (SNIA IOTTA) are CSV lines of the form
+//!
+//! ```text
+//! Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//! 128166372003061629,hm,1,Read,383496192,32768,1331
+//! ```
+//!
+//! * `Timestamp` and `ResponseTime` are Windows FILETIME values: 100 ns
+//!   ticks since 1601-01-01 (the response time is a duration in the
+//!   same ticks).
+//! * `Type` is `Read` or `Write` (case-insensitive).
+//! * `Offset`/`Size` are bytes.
+//!
+//! # Normalization
+//!
+//! Block addresses are mapped onto the file-migration model by slicing
+//! each disk into fixed [`EXTENT_BYTES`] extents: the "file" of a
+//! request is `/msr/<host>/d<disk>/x<offset / EXTENT_BYTES>` and its
+//! size is the request size. The requesting "user" is a stable hash of
+//! the hostname, so per-user statistics group by trace host.
+
+use crate::error::TraceError;
+use crate::ingest::{fnv1a64, FormatId, IngestFormat, RawEvent};
+use crate::record::DeviceClass;
+use crate::time::Timestamp;
+
+/// Extent size used to map block offsets to file identities (1 MiB).
+pub const EXTENT_BYTES: u64 = 1 << 20;
+
+/// Seconds between the FILETIME epoch (1601-01-01) and the Unix epoch.
+const FILETIME_UNIX_OFFSET_S: i64 = 11_644_473_600;
+
+/// FILETIME ticks per second (100 ns resolution).
+const TICKS_PER_S: u64 = 10_000_000;
+
+/// Parser for the MSR Cambridge CSV block format.
+#[derive(Debug, Default)]
+pub struct MsrFormat;
+
+impl IngestFormat for MsrFormat {
+    fn id(&self) -> FormatId {
+        FormatId::Msr
+    }
+
+    fn parse_line(&mut self, line_no: u64, line: &str) -> Result<Option<RawEvent>, TraceError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        // Header row: some extracts ship the column names.
+        if line.starts_with("Timestamp,") {
+            return Ok(None);
+        }
+        let mut fields = line.split(',');
+        let mut field = |name: &str| {
+            fields
+                .next()
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .ok_or_else(|| TraceError::parse(line_no, format!("missing field `{name}`")))
+        };
+        let ticks: u64 = parse_u64(line_no, "Timestamp", field("Timestamp")?)?;
+        let host = field("Hostname")?;
+        if !host
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(TraceError::parse(
+                line_no,
+                format!("hostname `{host}` has unexpected characters"),
+            ));
+        }
+        let disk: u32 = parse_u64(line_no, "DiskNumber", field("DiskNumber")?)?
+            .try_into()
+            .map_err(|_| TraceError::parse(line_no, "disk number out of range"))?;
+        let ty = field("Type")?;
+        let write = if ty.eq_ignore_ascii_case("write") {
+            true
+        } else if ty.eq_ignore_ascii_case("read") {
+            false
+        } else {
+            return Err(TraceError::parse(
+                line_no,
+                format!("unknown request type `{ty}`"),
+            ));
+        };
+        let offset = parse_u64(line_no, "Offset", field("Offset")?)?;
+        let size = parse_u64(line_no, "Size", field("Size")?)?;
+        let resp_ticks = parse_u64(line_no, "ResponseTime", field("ResponseTime")?)?;
+
+        let unix = (ticks / TICKS_PER_S) as i64 - FILETIME_UNIX_OFFSET_S;
+        let host_hash = fnv1a64(host.as_bytes());
+        Ok(Some(RawEvent {
+            time: Timestamp::from_unix(unix),
+            path: format!("/msr/{host}/d{disk}/x{}", offset / EXTENT_BYTES),
+            size,
+            write,
+            device: DeviceClass::Disk,
+            uid: (host_hash % 997) as u32,
+            transfer_ms: resp_ticks / (TICKS_PER_S / 1000),
+            error: None,
+        }))
+    }
+}
+
+fn parse_u64(line_no: u64, name: &str, text: &str) -> Result<u64, TraceError> {
+    text.parse().map_err(|_| {
+        TraceError::parse(line_no, format!("field `{name}` is not a number: `{text}`"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Option<RawEvent>, TraceError> {
+        MsrFormat.parse_line(1, line)
+    }
+
+    #[test]
+    fn parses_a_reference_line() {
+        // 128166372003061629 ticks = 2007-02-01T11:40:00Z (ish).
+        let ev = parse("128166372003061629,hm,1,Read,383496192,32768,1331")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            ev.time.as_unix(),
+            128_166_372_003_061_629 / 10_000_000 - 11_644_473_600
+        );
+        assert_eq!(ev.path, "/msr/hm/d1/x365");
+        assert_eq!(ev.size, 32_768);
+        assert!(!ev.write);
+        assert_eq!(ev.device, DeviceClass::Disk);
+        assert_eq!(ev.transfer_ms, 0, "1331 ticks is 133 µs");
+        assert!(ev.error.is_none());
+    }
+
+    #[test]
+    fn write_type_is_case_insensitive() {
+        assert!(parse("1,h,0,WRITE,0,1,0").unwrap().unwrap().write);
+        assert!(!parse("1,h,0,read,0,1,0").unwrap().unwrap().write);
+    }
+
+    #[test]
+    fn header_comment_and_blank_lines_skip() {
+        assert_eq!(
+            parse("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime").unwrap(),
+            None
+        );
+        assert_eq!(parse("# a comment").unwrap(), None);
+        assert_eq!(parse("   ").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnostics() {
+        for bad in [
+            "oops",
+            "1,h,0,Read,0,1",             // missing ResponseTime
+            "1,h,0,Chew,0,1,0",           // unknown type
+            "x,h,0,Read,0,1,0",           // bad timestamp
+            "1,h,nine,Read,0,1,0",        // bad disk
+            "1,bad host,0,Read,0,1,0",    // space in hostname
+            "1,h,99999999999,Read,0,1,0", // disk overflows u32
+            "1,h,0,Read,0,,0",            // empty size
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn extents_partition_the_offset_space() {
+        let a = parse("1,h,0,Read,0,1,0").unwrap().unwrap();
+        let b = parse("1,h,0,Read,1048575,1,0").unwrap().unwrap();
+        let c = parse("1,h,0,Read,1048576,1,0").unwrap().unwrap();
+        assert_eq!(a.path, b.path);
+        assert_ne!(b.path, c.path);
+    }
+}

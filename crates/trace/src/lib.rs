@@ -40,6 +40,8 @@ pub mod codec;
 pub mod error;
 pub mod flags;
 pub mod ident;
+pub mod ingest;
+pub mod line;
 pub mod merge;
 pub mod record;
 pub mod stats;
@@ -49,6 +51,8 @@ pub use codec::{TraceReader, TraceWriter, VerboseLogWriter};
 pub use error::TraceError;
 pub use flags::FlagWord;
 pub use ident::{FileId, FileTable};
+pub use ingest::{FormatId, IngestConfig, IngestStream, Sampler};
+pub use line::MAX_LINE_BYTES;
 pub use merge::{merge_sorted, MergedTrace};
 pub use record::{DeviceClass, Direction, Endpoint, ErrorKind, TraceRecord};
 pub use stats::{DeviceBreakdown, DirectionStats, TraceStats};

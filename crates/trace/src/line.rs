@@ -1,0 +1,190 @@
+//! Bounded line reading shared by the codec reader and the ingest
+//! parsers.
+//!
+//! `BufRead::read_line` grows its buffer without limit, so a trace file
+//! whose "line" is a gigabyte of garbage (no newline, or a binary blob
+//! fed to the wrong tool) allocates a gigabyte before the parser ever
+//! sees a byte. This module mirrors the serve protocol's pre-allocation
+//! check (`ProtoError::Oversized` rejects a length prefix before the
+//! payload buffer exists): a line is only buffered up to
+//! [`MAX_LINE_BYTES`]; anything longer is drained to its newline
+//! *without being stored* and reported as [`LineRead::Oversized`], so
+//! hostile input costs bounded memory and the stream keeps going.
+
+use std::io::{self, BufRead};
+
+/// Longest line the trace readers will buffer, in bytes.
+///
+/// Generous for every supported format — compact-codec lines run tens
+/// of bytes, external-format lines a few hundred — while keeping the
+/// worst-case allocation per line small and fixed.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// End of input; no bytes remained.
+    Eof,
+    /// One line, without its trailing newline.
+    Line(Vec<u8>),
+    /// The line exceeded the byte bound; it was consumed (through its
+    /// newline, or to EOF) but not buffered.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes.
+///
+/// The final line of a stream may lack a newline; it is returned as a
+/// normal [`LineRead::Line`]. Bytes of an oversized line beyond the
+/// bound are consumed but never stored.
+pub fn read_line_bounded<R: BufRead>(input: &mut R, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, newline, overflow) = {
+            let chunk = input.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(buf)
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if buf.len() + pos > max {
+                        (pos + 1, true, true)
+                    } else {
+                        buf.extend_from_slice(&chunk[..pos]);
+                        (pos + 1, true, false)
+                    }
+                }
+                None => {
+                    if buf.len() + chunk.len() > max {
+                        (chunk.len(), false, true)
+                    } else {
+                        buf.extend_from_slice(chunk);
+                        (chunk.len(), false, false)
+                    }
+                }
+            }
+        };
+        input.consume(consumed);
+        if overflow {
+            if !newline {
+                drain_past_newline(input)?;
+            }
+            return Ok(LineRead::Oversized);
+        }
+        if newline {
+            return Ok(LineRead::Line(buf));
+        }
+    }
+}
+
+/// Consumes input through the next newline (or EOF) without storing it.
+fn drain_past_newline<R: BufRead>(input: &mut R) -> io::Result<()> {
+    loop {
+        let (consumed, found) = {
+            let chunk = input.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (chunk.len(), false),
+            }
+        };
+        input.consume(consumed);
+        if found {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn lines(data: &[u8], max: usize) -> Vec<LineRead> {
+        let mut input = Cursor::new(data.to_vec());
+        let mut out = Vec::new();
+        loop {
+            let r = read_line_bounded(&mut input, max).unwrap();
+            let eof = r == LineRead::Eof;
+            out.push(r);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_reports_eof() {
+        let got = lines(b"ab\ncd\n", 10);
+        assert_eq!(
+            got,
+            vec![
+                LineRead::Line(b"ab".to_vec()),
+                LineRead::Line(b"cd".to_vec()),
+                LineRead::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn final_line_without_newline_is_returned() {
+        let got = lines(b"ab\ncd", 10);
+        assert_eq!(got[1], LineRead::Line(b"cd".to_vec()));
+        assert_eq!(got[2], LineRead::Eof);
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let got = lines(&data, 10);
+        assert_eq!(
+            got,
+            vec![
+                LineRead::Oversized,
+                LineRead::Line(b"ok".to_vec()),
+                LineRead::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline() {
+        let data = vec![b'x'; 100];
+        let got = lines(&data, 10);
+        assert_eq!(got, vec![LineRead::Oversized, LineRead::Eof]);
+    }
+
+    #[test]
+    fn exact_bound_is_not_oversized() {
+        let mut data = vec![b'x'; 10];
+        data.push(b'\n');
+        let got = lines(&data, 10);
+        assert_eq!(got[0], LineRead::Line(vec![b'x'; 10]));
+    }
+
+    #[test]
+    fn tiny_buffered_reader_still_bounds() {
+        // Force the multi-chunk path with a 3-byte BufReader.
+        let mut data = vec![b'y'; 50];
+        data.push(b'\n');
+        data.extend_from_slice(b"z\n");
+        let mut input = std::io::BufReader::with_capacity(3, Cursor::new(data));
+        assert_eq!(
+            read_line_bounded(&mut input, 8).unwrap(),
+            LineRead::Oversized
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 8).unwrap(),
+            LineRead::Line(b"z".to_vec())
+        );
+        assert_eq!(read_line_bounded(&mut input, 8).unwrap(), LineRead::Eof);
+    }
+}

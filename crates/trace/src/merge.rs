@@ -4,6 +4,15 @@
 //! per month, §4.1); analyses want one time-ordered stream. This module
 //! merges any number of record iterators by start time, preserving the
 //! relative order of equal-timestamp records from the same source.
+//!
+//! Errors carry no timestamp of their own, so they are surfaced at the
+//! position their source has reached: an error between two records of a
+//! source appears immediately before that source's next record, an
+//! error after a source's last record appears at that record's start,
+//! and a source that never yields a record surfaces its errors after
+//! every real record. An error deep in one monthly chunk therefore
+//! never leapfrogs valid earlier records from other sources — a
+//! stop-on-first-error consumer keeps the valid prefix it deserved.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -15,26 +24,33 @@ use crate::time::Timestamp;
 /// Merges time-sorted record streams into one time-ordered stream.
 ///
 /// Input streams yield `Result<TraceRecord, TraceError>` (the shape
-/// [`crate::TraceReader`] produces). Errors surface in-place; the stream
-/// that produced an error keeps going.
+/// [`crate::TraceReader`] produces). Errors surface in-place — at the
+/// stream position their source had reached, see the module docs — and
+/// the stream that produced an error keeps going.
 pub struct MergedTrace<I>
 where
     I: Iterator<Item = Result<TraceRecord, TraceError>>,
 {
     sources: Vec<I>,
     heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Per-source monotone push counter: orders a source's error
+    /// entries before the record that anchors their timestamp.
+    seq: Vec<u64>,
+    /// Start time of the last record each source yielded, if any.
+    last_start: Vec<Option<Timestamp>>,
 }
 
 #[derive(Debug)]
 struct HeapEntry {
     start: Timestamp,
     source: usize,
+    seq: u64,
     record: Result<TraceRecord, TraceError>,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.start == other.start && self.source == other.source
+        self.start == other.start && self.source == other.source && self.seq == other.seq
     }
 }
 impl Eq for HeapEntry {}
@@ -45,7 +61,7 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.start, self.source).cmp(&(other.start, other.source))
+        (self.start, self.source, self.seq).cmp(&(other.start, other.source, other.seq))
     }
 }
 
@@ -55,29 +71,62 @@ where
 {
     /// Builds a merger over the given sources.
     pub fn new(sources: impl IntoIterator<Item = I>) -> Self {
+        let sources: Vec<I> = sources.into_iter().collect();
+        let n = sources.len();
         let mut merged = MergedTrace {
-            sources: sources.into_iter().collect(),
+            sources,
             heap: BinaryHeap::new(),
+            seq: vec![0; n],
+            last_start: vec![None; n],
         };
-        for idx in 0..merged.sources.len() {
+        for idx in 0..n {
             merged.refill(idx);
         }
         merged
     }
 
+    /// Pulls from `source` until its next record (or exhaustion),
+    /// anchoring any errors encountered on the way at the position the
+    /// source has reached.
     fn refill(&mut self, source: usize) {
-        if let Some(item) = self.sources[source].next() {
-            let start = match &item {
-                Ok(rec) => rec.start,
-                // Surface errors promptly: schedule at the epoch floor.
-                Err(_) => Timestamp::from_unix(i64::MIN / 2),
-            };
-            self.heap.push(Reverse(HeapEntry {
-                start,
-                source,
-                record: item,
-            }));
+        let mut pending: Vec<TraceError> = Vec::new();
+        loop {
+            match self.sources[source].next() {
+                Some(Ok(rec)) => {
+                    let start = rec.start;
+                    self.last_start[source] = Some(start);
+                    for err in pending {
+                        self.push(source, start, Err(err));
+                    }
+                    self.push(source, start, Ok(rec));
+                    return;
+                }
+                Some(Err(err)) => pending.push(err),
+                None => {
+                    // Trailing errors anchor at the source's last
+                    // record; a source that never produced one cannot
+                    // claim a position, so its errors sort after every
+                    // real record.
+                    let anchor = self.last_start[source]
+                        .unwrap_or_else(|| Timestamp::from_unix(i64::MAX / 2));
+                    for err in pending {
+                        self.push(source, anchor, Err(err));
+                    }
+                    return;
+                }
+            }
         }
+    }
+
+    fn push(&mut self, source: usize, start: Timestamp, record: Result<TraceRecord, TraceError>) {
+        let seq = self.seq[source];
+        self.seq[source] += 1;
+        self.heap.push(Reverse(HeapEntry {
+            start,
+            source,
+            seq,
+            record,
+        }));
     }
 }
 
@@ -89,7 +138,11 @@ where
 
     fn next(&mut self) -> Option<Self::Item> {
         let Reverse(entry) = self.heap.pop()?;
-        self.refill(entry.source);
+        // Error entries ride ahead of the record that anchors them, so
+        // only a popped record means its source needs another pull.
+        if entry.record.is_ok() {
+            self.refill(entry.source);
+        }
         Some(entry.record)
     }
 }
@@ -147,9 +200,67 @@ mod tests {
             vec![Err(TraceError::parse(1, "boom")), Ok(rec(9, "/late"))];
         let merged: Vec<_> = MergedTrace::new(vec![good.into_iter(), bad.into_iter()]).collect();
         assert_eq!(merged.len(), 3);
-        assert!(merged[0].is_err(), "error should surface first");
-        assert!(merged[1].as_ref().is_ok_and(|r| r.mss_path == "/ok"));
+        // The bad source's leading error anchors at its next record
+        // (t=9), so the other source's valid t=3 record comes first.
+        assert!(merged[0].as_ref().is_ok_and(|r| r.mss_path == "/ok"));
+        assert!(merged[1].is_err(), "error surfaces before its anchor");
         assert!(merged[2].as_ref().is_ok_and(|r| r.mss_path == "/late"));
+    }
+
+    #[test]
+    fn deep_error_does_not_leapfrog_other_sources() {
+        // Regression: an error between t=1 and t=50 of source B used to
+        // schedule at the epoch floor and pop before source A's t=0.
+        let a: Vec<Result<TraceRecord, TraceError>> =
+            vec![Ok(rec(0, "/a0")), Ok(rec(100, "/a100"))];
+        let b: Vec<Result<TraceRecord, TraceError>> = vec![
+            Ok(rec(1, "/b1")),
+            Err(TraceError::parse(7, "mid-chunk")),
+            Ok(rec(50, "/b50")),
+        ];
+        let merged: Vec<_> = MergedTrace::new(vec![a.into_iter(), b.into_iter()]).collect();
+        let shape: Vec<String> = merged
+            .iter()
+            .map(|r| match r {
+                Ok(rec) => rec.mss_path.clone(),
+                Err(_) => "<err>".to_string(),
+            })
+            .collect();
+        assert_eq!(shape, ["/a0", "/b1", "<err>", "/b50", "/a100"]);
+    }
+
+    #[test]
+    fn trailing_errors_anchor_at_last_record() {
+        let a: Vec<Result<TraceRecord, TraceError>> = vec![
+            Ok(rec(5, "/a5")),
+            Err(TraceError::parse(9, "truncated tail")),
+        ];
+        let b: Vec<Result<TraceRecord, TraceError>> = vec![Ok(rec(2, "/b2")), Ok(rec(8, "/b8"))];
+        let merged: Vec<_> = MergedTrace::new(vec![a.into_iter(), b.into_iter()]).collect();
+        let shape: Vec<&str> = merged
+            .iter()
+            .map(|r| match r {
+                Ok(rec) => rec.mss_path.as_str(),
+                Err(_) => "<err>",
+            })
+            .collect();
+        // The tail error anchors at t=5 (source A's last record), after
+        // that record but before B's t=8.
+        assert_eq!(shape, ["/b2", "/a5", "<err>", "/b8"]);
+    }
+
+    #[test]
+    fn all_error_source_surfaces_after_real_records() {
+        let garbage: Vec<Result<TraceRecord, TraceError>> = vec![
+            Err(TraceError::parse(1, "soup")),
+            Err(TraceError::parse(2, "soup")),
+        ];
+        let good: Vec<Result<TraceRecord, TraceError>> = vec![Ok(rec(3, "/ok"))];
+        let merged: Vec<_> =
+            MergedTrace::new(vec![garbage.into_iter(), good.into_iter()]).collect();
+        assert_eq!(merged.len(), 3);
+        assert!(merged[0].is_ok());
+        assert!(merged[1].is_err() && merged[2].is_err());
     }
 
     #[test]

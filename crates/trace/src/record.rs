@@ -305,9 +305,14 @@ impl TraceRecord {
     }
 
     /// Instant the transfer finished.
+    ///
+    /// `transfer_ms` is carried through at millisecond resolution and
+    /// rounded to the nearest whole second at the [`Timestamp`]
+    /// boundary, so sub-second transfers do not collapse onto
+    /// [`Self::first_byte_at`].
     pub fn completed_at(&self) -> Timestamp {
         self.first_byte_at()
-            .add_secs((self.transfer_ms / 1000) as i64)
+            .add_secs(((self.transfer_ms + 500) / 1000) as i64)
     }
 }
 
@@ -373,6 +378,24 @@ mod tests {
         assert_eq!(r.first_byte_at(), TRACE_EPOCH.add_secs(85));
         assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(125));
         assert!((r.size_mb() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completed_at_rounds_transfer_millis_to_nearest_second() {
+        let mut r = TraceRecord::read(Endpoint::MssDisk, TRACE_EPOCH, 1, "/x", 1);
+        r.startup_latency_s = 10;
+        // Below half a second: rounds down to the first-byte instant.
+        r.transfer_ms = 400;
+        assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(10));
+        // At or above half a second: carries into the next second
+        // instead of truncating to zero.
+        r.transfer_ms = 500;
+        assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(11));
+        r.transfer_ms = 999;
+        assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(11));
+        // Whole-plus-fraction: 1.5 s rounds to 2 s, not the floored 1 s.
+        r.transfer_ms = 1_500;
+        assert_eq!(r.completed_at(), TRACE_EPOCH.add_secs(12));
     }
 
     #[test]

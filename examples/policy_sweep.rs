@@ -30,7 +30,8 @@ fn main() {
         simulate_devices: true,
         latency: false, // open-loop: miss ratios only, cheap
         faults: vec![FaultScenarioId::None],
-        workers: 0, // one per CPU
+        workers: 0,        // one per CPU
+        trace_store: None, // generated workloads, not an imported trace
     };
     println!(
         "sweep: {} cells in {} shards (policy x preset x scale x cache)\n",

@@ -29,6 +29,7 @@ fn fault_matrix() -> SweepConfig {
             FaultScenarioId::DegradedPeak,
         ],
         workers: 1,
+        trace_store: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn sweep_matrix() -> SweepConfig {
         latency: false,
         faults: vec![FaultScenarioId::None],
         workers: 1,
+        trace_store: None,
     }
 }
 
@@ -74,6 +75,7 @@ fn latency_aware_cells_are_byte_identical_across_worker_counts() {
         latency: true,
         faults: vec![FaultScenarioId::None, FaultScenarioId::DegradedPeak],
         workers: 1,
+        trace_store: None,
     };
     let mut pooled = serial.clone();
     pooled.workers = 8;
